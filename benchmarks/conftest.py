@@ -1,0 +1,51 @@
+"""Benchmark harness shared machinery.
+
+Every benchmark regenerates one paper artefact end-to-end — mobility
+generation, the full (protocol × load × replication) sweep, and figure/table
+assembly — at a trimmed ``bench`` scale (3 loads × 2 replications) so the
+whole suite stays in CI territory, and prints the same rows/series the paper
+reports. Run the full paper grid with ``python -m repro run all --scale
+paper``.
+
+Each artefact is built exactly once (``pedantic(rounds=1)``): a sweep is a
+long-running deterministic experiment, not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import render_series_table
+from repro.analysis.figures import FigureData
+from repro.experiments.registry import get_experiment
+from repro.experiments.runner import ExperimentRunner, Scale
+
+#: Trimmed sweep grid for benchmarks. Three replications are the minimum
+#: that mixes easy and hard endpoint draws on the campus friendship graph.
+BENCH_SCALE = Scale("bench", (5, 30, 50), 3)
+BENCH_SEED = 7
+
+
+def run_experiment_benchmark(benchmark, exp_id: str) -> FigureData | str:
+    """Benchmark one registered experiment and print its rows."""
+
+    def target():
+        runner = ExperimentRunner(scale=BENCH_SCALE, seed=BENCH_SEED)
+        return get_experiment(exp_id).build(runner)
+
+    artefact = benchmark.pedantic(target, rounds=1, iterations=1)
+    exp = get_experiment(exp_id)
+    print()
+    print(f"==== {exp.title} [bench scale: loads={BENCH_SCALE.loads}, "
+          f"reps={BENCH_SCALE.replications}] ====")
+    if isinstance(artefact, FigureData):
+        print(render_series_table(artefact.series))
+    else:
+        print(artefact)
+    return artefact
+
+
+@pytest.fixture
+def bench_runner():
+    """A fresh bench-scale runner for ablation benchmarks."""
+    return ExperimentRunner(scale=BENCH_SCALE, seed=BENCH_SEED)

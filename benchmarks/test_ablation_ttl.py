@@ -1,0 +1,33 @@
+"""Ablation — the constant-TTL sweep of Section IV (50..300 s).
+
+Paper finding: small TTLs discard bundles prematurely; delivery grows with
+the TTL value over this range.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+from repro.analysis.ascii_plot import render_series_table
+from repro.core.protocols import make_protocol_config
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.mobility.synthetic import CampusTraceGenerator
+
+TTLS = (50.0, 100.0, 150.0, 200.0, 300.0)
+
+
+def test_ablation_ttl(benchmark):
+    trace = CampusTraceGenerator(seed=BENCH_SEED).generate()
+    protos = [make_protocol_config("ttl", ttl=t) for t in TTLS]
+    cfg = SweepConfig(
+        loads=BENCH_SCALE.loads,
+        replications=BENCH_SCALE.replications,
+        master_seed=BENCH_SEED,
+    )
+    result = benchmark.pedantic(
+        lambda: run_sweep(trace, protos, cfg), rounds=1, iterations=1
+    )
+    series = result.delivery_ratio_series()
+    print()
+    print("==== Ablation: constant TTL sweep (delivery ratio, trace) ====")
+    print(render_series_table(series))
+    totals = [sum(s.values) for s in series]  # ordered by TTL ascending
+    assert totals[-1] >= totals[0]  # TTL=300 at least matches TTL=50

@@ -1,0 +1,23 @@
+"""Fig. 8 — delay vs load under RWP (P-Q, TTL, immunity, EC).
+
+Paper shape: immunity delivers fastest (purged buffers keep relaying
+effective); EC/P-Q slowest at high load.
+"""
+
+import math
+
+
+def test_fig08_delay_rwp(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig08")
+    assert len(fig.series) == 4
+    imm = fig.series_by_label("Epidemic with immunity")
+    pq = fig.series_by_label("P-Q epidemic (P=1, Q=1)")
+    paired = [
+        (i, p)
+        for i, p in zip(imm.values, pq.values)
+        if math.isfinite(i) and math.isfinite(p)
+    ]
+    assert paired
+    assert sum(i for i, _ in paired) <= sum(p for _, p in paired) + 1e-9

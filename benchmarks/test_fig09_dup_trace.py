@@ -1,0 +1,16 @@
+"""Fig. 9 — bundle duplication rate vs load on the campus trace.
+
+Paper shape: immunity spreads bundles the widest while they are alive;
+TTL's short-lived copies give the lowest duplication.
+"""
+
+
+def test_fig09_dup_trace(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig09")
+    assert len(fig.series) == 4
+    imm = fig.series_by_label("Epidemic with immunity")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    assert sum(imm.values) >= sum(ttl.values)
+    assert all(0.0 <= v <= 1.0 for s in fig.series for v in s.values)

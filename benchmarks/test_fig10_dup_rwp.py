@@ -1,0 +1,11 @@
+"""Fig. 10 — bundle duplication rate vs load under RWP."""
+
+
+def test_fig10_dup_rwp(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig10")
+    assert len(fig.series) == 4
+    imm = fig.series_by_label("Epidemic with immunity")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    assert sum(imm.values) >= sum(ttl.values)

@@ -1,0 +1,12 @@
+"""Fig. 12 — buffer occupancy level vs load under RWP."""
+
+
+def test_fig12_buf_rwp(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig12")
+    pq = fig.series_by_label("P-Q epidemic (P=1, Q=1)")
+    imm = fig.series_by_label("Epidemic with immunity")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    assert pq.values[-1] > imm.values[-1] > ttl.values[-1]
+    assert pq.values[-1] > 0.5

@@ -1,0 +1,17 @@
+"""Fig. 13 — delivery ratio of EC vs TTL on the campus trace.
+
+Paper shape: both degrade as the load grows; EC stays above TTL.
+"""
+
+
+def test_fig13_delivery_trace(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig13")
+    ec = fig.series_by_label("Epidemic with EC")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    # degradation with load
+    assert ec.values[-1] < ec.values[0]
+    assert ttl.values[-1] < ttl.values[0]
+    # EC at or above TTL across the sweep
+    assert sum(ec.values) >= sum(ttl.values)

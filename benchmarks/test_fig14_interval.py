@@ -1,0 +1,23 @@
+"""Fig. 14 — constant-TTL delivery under interval 400 vs 2000 scenarios.
+
+Paper shape: stretching the inter-encounter interval from 400 to 2000 s
+costs constant TTL=300 roughly 20% delivery. In our reproduction the
+*direction* holds but the gap is small: with TTL renewal only at
+transmission time, a relayed copy must survive interval + residual contact
++ one transmission time before its next forwarding chance, which already
+exceeds 300 s in the 400-second scenario for most draws — constant TTL is
+relay-dead in *both* regimes and delivery is dominated by the (identical)
+direct path. EXPERIMENTS.md discusses this deviation; the interval
+sensitivity the paper is after shows up strongly in the dynamic-TTL
+interval curves of Figs 15/17 instead.
+"""
+
+
+def test_fig14_interval(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig14")
+    short = fig.series_by_label("Interval time = 400")
+    long = fig.series_by_label("Interval time = 2000")
+    # direction: stretching intervals never helps constant TTL
+    assert sum(short.values) >= sum(long.values) - 1e-9

@@ -1,0 +1,19 @@
+"""Fig. 15 — delivery ratio, modified vs unmodified protocols, RWP
+(plus the interval-scenario TTL curves the paper overlays)."""
+
+
+def test_fig15_delivery_rwp(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig15")
+    assert len(fig.series) == 10
+    dyn = fig.series_by_label("Epidemic with dynamic TTL (x2)")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    ec = fig.series_by_label("Epidemic with EC")
+    ecttl = fig.series_by_label("Epidemic with EC+TTL (thr=8)")
+    imm = fig.series_by_label("Epidemic with immunity")
+    cum = fig.series_by_label("Epidemic with cumulative immunity")
+    # every enhancement at least matches its original on delivery
+    assert sum(dyn.values) >= sum(ttl.values)
+    assert sum(ecttl.values) >= sum(ec.values)
+    assert sum(cum.values) >= sum(imm.values) - 0.05 * len(imm.values)

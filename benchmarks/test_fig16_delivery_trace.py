@@ -1,0 +1,24 @@
+"""Fig. 16 — delivery ratio, modified vs unmodified protocols, trace.
+
+Paper headline: EC+TTL improves delivery over EC by at least 40% (relative)
+at high loads; dynamic TTL beats constant TTL; cumulative == immunity.
+"""
+
+
+def test_fig16_delivery_trace(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig16")
+    assert len(fig.series) == 6
+    dyn = fig.series_by_label("Epidemic with dynamic TTL (x2)")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    ec = fig.series_by_label("Epidemic with EC")
+    ecttl = fig.series_by_label("Epidemic with EC+TTL (thr=8)")
+    imm = fig.series_by_label("Epidemic with immunity")
+    cum = fig.series_by_label("Epidemic with cumulative immunity")
+    assert sum(dyn.values) >= sum(ttl.values)
+    # the EC+TTL high-load gain (paper: >= 40% relative at high loads)
+    assert ecttl.values[-1] >= 1.2 * ec.values[-1]
+    # cumulative immunity is a buffer policy: delivery matches immunity
+    for c, i in zip(cum.values, imm.values):
+        assert abs(c - i) <= 0.05

@@ -1,0 +1,20 @@
+"""Fig. 17 — buffer occupancy, modified vs unmodified protocols, RWP.
+
+Paper headlines: EC+TTL cuts EC's occupancy; cumulative immunity cuts
+immunity's by >= 15%; dynamic TTL buffers more than constant TTL.
+"""
+
+
+def test_fig17_buf_rwp(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig17")
+    dyn = fig.series_by_label("Epidemic with dynamic TTL (x2)")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    ec = fig.series_by_label("Epidemic with EC")
+    ecttl = fig.series_by_label("Epidemic with EC+TTL (thr=8)")
+    imm = fig.series_by_label("Epidemic with immunity")
+    cum = fig.series_by_label("Epidemic with cumulative immunity")
+    assert sum(ecttl.values) <= sum(ec.values)
+    assert sum(cum.values) <= 0.85 * sum(imm.values)  # >= 15% lower
+    assert sum(dyn.values) >= sum(ttl.values)

@@ -1,0 +1,16 @@
+"""Fig. 18 — buffer occupancy, modified vs unmodified protocols, trace."""
+
+
+def test_fig18_buf_trace(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig18")
+    ec = fig.series_by_label("Epidemic with EC")
+    ecttl = fig.series_by_label("Epidemic with EC+TTL (thr=8)")
+    imm = fig.series_by_label("Epidemic with immunity")
+    cum = fig.series_by_label("Epidemic with cumulative immunity")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    dyn = fig.series_by_label("Epidemic with dynamic TTL (x2)")
+    assert sum(ecttl.values) <= sum(ec.values)
+    assert sum(cum.values) <= 0.85 * sum(imm.values)
+    assert sum(dyn.values) >= sum(ttl.values)

@@ -1,0 +1,17 @@
+"""Fig. 19 — duplication rate, modified vs unmodified protocols, RWP.
+
+Paper shape: enhancements slightly raise duplication (more useful copies),
+except cumulative immunity which must not exceed immunity.
+"""
+
+
+def test_fig19_dup_rwp(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig19")
+    dyn = fig.series_by_label("Epidemic with dynamic TTL (x2)")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    imm = fig.series_by_label("Epidemic with immunity")
+    cum = fig.series_by_label("Epidemic with cumulative immunity")
+    assert sum(dyn.values) >= sum(ttl.values) - 0.02 * len(ttl.values)
+    assert sum(cum.values) <= sum(imm.values) + 1e-9

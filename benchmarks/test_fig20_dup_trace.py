@@ -1,0 +1,14 @@
+"""Fig. 20 — duplication rate, modified vs unmodified protocols, trace."""
+
+
+def test_fig20_dup_trace(benchmark):
+    from conftest import run_experiment_benchmark
+
+    fig = run_experiment_benchmark(benchmark, "fig20")
+    assert len(fig.series) == 6
+    dyn = fig.series_by_label("Epidemic with dynamic TTL (x2)")
+    ttl = fig.series_by_label("Epidemic with TTL=300")
+    imm = fig.series_by_label("Epidemic with immunity")
+    cum = fig.series_by_label("Epidemic with cumulative immunity")
+    assert sum(dyn.values) >= sum(ttl.values) - 0.02 * len(ttl.values)
+    assert sum(cum.values) <= sum(imm.values) + 1e-9

@@ -1,0 +1,9 @@
+"""Table I — prior-study parameter survey (static reproduction)."""
+
+
+def test_table1(benchmark):
+    from conftest import run_experiment_benchmark
+
+    table = run_experiment_benchmark(benchmark, "table1")
+    assert "Random Waypoint" in table
+    assert "<= 300 m" in table

@@ -1,0 +1,14 @@
+"""Table II — whole-sweep means for the six protocols on both mobility
+models. The orderings the paper reports must hold; see EXPERIMENTS.md for
+the per-cell paper-vs-measured comparison."""
+
+
+def test_table2(benchmark):
+    from conftest import run_experiment_benchmark
+
+    table = run_experiment_benchmark(benchmark, "table2")
+    lines = [ln for ln in table.splitlines() if ln.startswith("Epidemic")]
+    assert len(lines) == 6
+    # row order matches the paper's table
+    assert lines[0].startswith("Epidemic with TTL=300")
+    assert "cumulative" in lines[-1]

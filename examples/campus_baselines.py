@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The paper's baseline study on the campus trace (Figs 7, 9, 11, 13).
+
+Runs the four baseline protocols — P-Q epidemic (P=Q=1), epidemic with
+TTL=300, epidemic with EC, epidemic with immunity — through the load sweep
+and renders the four trace-based baseline figures as ASCII plots.
+
+Run:  python examples/campus_baselines.py [--scale quick|paper]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.ascii_plot import render_plot, render_series_table
+from repro.experiments import ExperimentRunner, get_experiment
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["smoke", "quick", "paper"], default="quick")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+    for exp_id in ("fig07", "fig09", "fig11", "fig13"):
+        exp = get_experiment(exp_id)
+        t0 = time.time()
+        fig = exp.build(runner)
+        print(f"==== {exp.title} ({time.time() - t0:.1f}s) ====")
+        print(render_plot(fig.series, y_label=fig.y_label))
+        print()
+        print(render_series_table(fig.series))
+        print()
+    print(
+        "Shapes to check against the paper: P-Q delay grows slowest and its\n"
+        "buffers run fullest; EC tracks P-Q on delay/buffer but degrades in\n"
+        "delivery; TTL=300 runs nearly empty buffers and loses bundles as the\n"
+        "load grows; immunity keeps delivery at 100% with mid-level buffers."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Extending the framework: a custom protocol in ~40 lines.
+
+Implements *quota epidemic* — each copy may be forwarded at most N times
+(the per-copy encounter count the EC substrate already tracks doubles as
+the quota meter), except that delivery to the destination is always
+allowed. This is the simplest member of the controlled-replication family
+(Spray-and-Wait et al.) and slots into the same unified evaluation as the
+paper's protocols: register the config class, then sweep it against any
+baseline.
+
+Run:  python examples/custom_protocol.py
+"""
+
+from dataclasses import dataclass
+
+from repro import CampusTraceGenerator, SweepConfig, make_protocol_config, run_sweep
+from repro.analysis.ascii_plot import render_series_table
+from repro.core.bundle import StoredBundle
+from repro.core.node import Node
+from repro.core.protocols import Protocol, register_protocol
+
+
+class QuotaEpidemic(Protocol):
+    """Epidemic flooding where each copy forwards at most ``quota`` times."""
+
+    name = "quota"
+
+    def __init__(self, node, sim, rng, *, quota: int) -> None:
+        super().__init__(node, sim, rng)
+        self.quota = quota
+
+    def should_offer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
+        if sb.bundle.destination == peer.id:
+            return True  # handing over to the destination is always allowed
+        return sb.ec < self.quota
+
+
+@register_protocol
+@dataclass(frozen=True)
+class QuotaEpidemicConfig:
+    """Factory for :class:`QuotaEpidemic`."""
+
+    quota: int = 3
+    protocol_name = "quota"
+
+    @property
+    def label(self) -> str:
+        return f"Quota epidemic (N={self.quota})"
+
+    def build(self, node, sim, rng) -> QuotaEpidemic:
+        return QuotaEpidemic(node, sim, rng, quota=self.quota)
+
+
+def main() -> int:
+    trace = CampusTraceGenerator(seed=11).generate()
+    result = run_sweep(
+        trace,
+        [
+            make_protocol_config("pq", p=1.0, q=1.0),
+            make_protocol_config("quota", quota=3),
+            make_protocol_config("quota", quota=8),
+        ],
+        SweepConfig(loads=(5, 20, 35, 50), replications=3, master_seed=11),
+    )
+    print("Delivery ratio vs load:")
+    print(render_series_table(result.delivery_ratio_series()))
+    print()
+    print("Transmissions (mean per run):")
+    print(
+        render_series_table(
+            result.series(lambda r: float(r.transmissions)), value_fmt="{:.0f}"
+        )
+    )
+    print(
+        "\nThe quota caps per-copy forwarding, trading delivery ratio for a "
+        "much smaller\ntransmission budget — the replication-control knob the "
+        "paper's EC threshold\n(Algorithm 2) turns adaptively."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: compare two epidemic protocols on a synthetic campus trace.
+
+Generates the 12-node, 5-day campus contact trace (the stand-in for the
+CRAWDAD Haggle dataset), runs a small load sweep for P-Q epidemic and
+epidemic-with-immunity, and prints the delivery/delay/buffer results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CampusTraceGenerator,
+    SweepConfig,
+    compute_trace_stats,
+    make_protocol_config,
+    run_sweep,
+)
+
+# 1. A mobility input. Every mobility model produces a ContactTrace; the
+#    simulator never cares where contacts came from.
+trace = CampusTraceGenerator(seed=42).generate()
+stats = compute_trace_stats(trace)
+print(
+    f"trace: {stats.num_contacts} contacts between {stats.num_nodes} nodes "
+    f"over {stats.horizon / 86400:.1f} days "
+    f"(median encounter gap per node: {stats.intercontact_node.median:.0f}s)"
+)
+
+# 2. Protocols under test, by registry name. Parameters mirror the paper.
+protocols = [
+    make_protocol_config("pq", p=1.0, q=1.0),
+    make_protocol_config("immunity"),
+]
+
+# 3. The paper's experiment: k bundles from a random source to a random
+#    destination, k swept over the loads, replicated with fresh endpoints.
+result = run_sweep(
+    trace,
+    protocols,
+    SweepConfig(loads=(5, 15, 25), replications=3, master_seed=42),
+)
+
+# 4. Results aggregate into figure-ready series or whole-sweep means.
+print(f"\nran {len(result)} simulations\n")
+print(f"{'protocol':<28} {'delivery':>9} {'delay(s)':>12} {'buffer':>8}")
+for label in result.protocols():
+    means = result.protocol_means(label)
+    print(
+        f"{label:<28} {means['delivery_ratio']:>9.2%} "
+        f"{means['delay']:>12.0f} {means['buffer_occupancy']:>8.2%}"
+    )
+
+print(
+    "\nImmunity purges delivered bundles from buffers, so it delivers the "
+    "same bundles\nwith a fraction of the buffer footprint — the paper's "
+    "core observation."
+)

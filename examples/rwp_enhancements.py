@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's enhancement study under Random-Way-Point mobility.
+
+Compares each enhancement against its unmodified counterpart (Figs 15, 17,
+19) on the subscriber-point RWP model and prints a Table II-style summary,
+including the signaling-overhead column behind the abstract's
+"order of magnitude less signaling" claim for cumulative immunity.
+
+Run:  python examples/rwp_enhancements.py [--scale quick|paper]
+"""
+
+import argparse
+import sys
+
+from repro import RWPConfig, SubscriberPointRWP, SweepConfig, make_protocol_config, run_sweep
+from repro.analysis.ascii_plot import render_series_table
+
+PAIRS = [
+    ("constant vs dynamic TTL", "ttl", {"ttl": 300.0}, "dynamic_ttl", {}),
+    ("EC vs EC+TTL", "ec", {}, "ec_ttl", {}),
+    ("immunity vs cumulative", "immunity", {}, "cumulative_immunity", {}),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["smoke", "quick", "paper"], default="quick")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    loads = {"smoke": (5, 15), "quick": (5, 20, 35, 50), "paper": tuple(range(5, 55, 5))}[
+        args.scale
+    ]
+    reps = {"smoke": 1, "quick": 3, "paper": 10}[args.scale]
+
+    trace = SubscriberPointRWP(RWPConfig(), seed=args.seed).generate()
+    protocols = []
+    for _, base_name, base_kw, enh_name, enh_kw in PAIRS:
+        protocols.append(make_protocol_config(base_name, **base_kw))
+        protocols.append(make_protocol_config(enh_name, **enh_kw))
+    result = run_sweep(
+        trace,
+        protocols,
+        SweepConfig(loads=loads, replications=reps, master_seed=args.seed),
+    )
+
+    print("Delivery ratio vs load (RWP):")
+    print(render_series_table(result.delivery_ratio_series()))
+    print()
+    print("Buffer occupancy vs load (RWP):")
+    print(render_series_table(result.buffer_occupancy_series()))
+    print()
+
+    print(f"{'protocol':<38} {'delivery':>9} {'buffer':>8} {'signal units':>13}")
+    for label in result.protocols():
+        m = result.protocol_means(label)
+        print(
+            f"{label:<38} {m['delivery_ratio']:>9.2%} "
+            f"{m['buffer_occupancy']:>8.2%} {m['signaling_overhead']:>13.0f}"
+        )
+    imm = result.protocol_means("Epidemic with immunity")
+    cum = result.protocol_means("Epidemic with cumulative immunity")
+    if cum["signaling_overhead"] > 0:
+        ratio = imm["signaling_overhead"] / cum["signaling_overhead"]
+        print(
+            f"\ncumulative immunity transmits {ratio:.0f}x fewer control units "
+            f"than per-bundle immunity\n(the paper's 'order of magnitude less "
+            f"signaling overheads')."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Trace-file workflow: export, import, CRAWDAD adapter, statistics.
+
+Shows the on-disk round trip the paper's methodology implies: generate a
+mobility trace once, persist it, and run every protocol study against the
+same file — plus the Haggle-format adapter that loads the genuine CRAWDAD
+``cambridge/haggle`` contact listings when you have them.
+
+Run:  python examples/trace_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CampusTraceGenerator,
+    SweepConfig,
+    compute_trace_stats,
+    make_protocol_config,
+    read_contact_trace,
+    read_haggle_trace,
+    run_sweep,
+    write_contact_trace,
+)
+from repro.mobility.trace_file import write_haggle_trace
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+
+    # 1. Generate once, persist in the canonical format.
+    trace = CampusTraceGenerator(seed=5).generate()
+    canonical = workdir / "campus.trace"
+    write_contact_trace(trace, canonical)
+    print(f"wrote {canonical} ({canonical.stat().st_size} bytes)")
+
+    # 2. Reload — simulation inputs are plain files, like the paper's.
+    reloaded = read_contact_trace(canonical)
+    assert len(reloaded) == len(trace)
+
+    # 3. The CRAWDAD-Haggle adapter: 1-based `id1 id2 start end` rows.
+    #    (Here we export our own trace in that shape to demonstrate; point
+    #    read_haggle_trace at the real dataset's contact listing when you
+    #    have it and everything downstream is unchanged.)
+    haggle = workdir / "campus.haggle.dat"
+    write_haggle_trace(reloaded, haggle)
+    imported = read_haggle_trace(haggle, num_nodes=reloaded.num_nodes)
+    print(f"haggle round-trip: {len(imported)} contacts")
+
+    # 4. Statistics — the numbers EXPERIMENTS.md reports per mobility input.
+    stats = compute_trace_stats(imported)
+    print("\ntrace statistics:")
+    for key, value in stats.as_dict().items():
+        print(f"  {key:>26}: {value:,.4g}" if isinstance(value, float) else f"  {key:>26}: {value}")
+
+    # 5. Any study runs off the file-loaded trace.
+    result = run_sweep(
+        imported,
+        [make_protocol_config("immunity")],
+        SweepConfig(loads=(10,), replications=3, master_seed=5),
+    )
+    means = result.protocol_means("Epidemic with immunity")
+    print(
+        f"\nimmunity on the reloaded trace: delivery {means['delivery_ratio']:.0%}, "
+        f"delay {means['delay']:.0f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``pip install -e . --no-use-pep517`` in offline environments that
+lack the ``wheel`` package (the PEP 660 editable path needs bdist_wheel).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

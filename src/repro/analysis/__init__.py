@@ -1,0 +1,39 @@
+"""Result analysis: figure series, paper tables, plots and exports.
+
+Everything here is presentation-side: it consumes
+:class:`~repro.core.results.SweepResult` objects and produces the artefacts
+the paper reports — per-figure curves (:mod:`~repro.analysis.figures`),
+Table I/II (:mod:`~repro.analysis.tables`), dependency-free ASCII line
+plots (:mod:`~repro.analysis.ascii_plot`), and CSV/JSON exports
+(:mod:`~repro.analysis.io`).
+"""
+
+from repro.analysis.ascii_plot import render_plot, render_series_table
+from repro.analysis.figures import FigureData, build_figure
+from repro.analysis.io import (
+    read_series_csv,
+    write_runs_csv,
+    write_series_csv,
+    write_series_json,
+)
+from repro.analysis.tables import (
+    TABLE1_ROWS,
+    build_table2,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "FigureData",
+    "build_figure",
+    "render_plot",
+    "render_series_table",
+    "write_runs_csv",
+    "write_series_csv",
+    "write_series_json",
+    "read_series_csv",
+    "TABLE1_ROWS",
+    "render_table1",
+    "build_table2",
+    "render_table2",
+]

@@ -1,0 +1,127 @@
+"""Dependency-free ASCII line plots.
+
+matplotlib is not available offline, so figures are rendered as terminal
+plots: one glyph per curve, a y-axis with min/max labels, and a legend.
+Good enough to eyeball every shape the paper's figures show (orderings,
+crossovers, growth rates), and exactly what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.results import Series
+
+#: Curve glyphs, assigned in series order.
+GLYPHS = "ox+*#@%&"
+
+
+def _fmt(v: float) -> str:
+    """Compact numeric label (engineering-ish)."""
+    if v == 0:
+        return "0"
+    if not math.isfinite(v):
+        return str(v)
+    a = abs(v)
+    if a >= 100_000 or a < 0.01:
+        return f"{v:.1e}"
+    if a >= 100:
+        return f"{v:.0f}"
+    return f"{v:.2f}"
+
+
+def render_plot(
+    series: list[Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "Load",
+) -> str:
+    """Render curves as an ASCII plot.
+
+    NaN points (e.g. delay at loads where no run succeeded) are skipped.
+
+    Raises:
+        ValueError: if there is nothing to plot.
+    """
+    points: list[tuple[float, float]] = [
+        (float(p.load), p.value)
+        for s in series
+        for p in s.points
+        if math.isfinite(p.value)
+    ]
+    if not points:
+        raise ValueError("no finite data points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    for idx, s in enumerate(series):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        pts = [
+            (float(p.load), p.value) for p in s.points if math.isfinite(p.value)
+        ]
+        # connect consecutive points with interpolated glyphs
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(2, int(abs(x1 - x0) / (x_hi - x_lo) * width))
+            for k in range(steps + 1):
+                t = k / steps
+                put(x0 + t * (x1 - x0), y0 + t * (y1 - y0), glyph)
+        for x, y in pts:  # markers last so they sit on top
+            put(x, y, glyph)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    y_hi_s, y_lo_s = _fmt(y_hi), _fmt(y_lo)
+    margin = max(len(y_hi_s), len(y_lo_s)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_hi_s
+        elif r == height - 1:
+            label = y_lo_s
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{_fmt(x_lo)}{' ' * (width - len(_fmt(x_lo)) - len(_fmt(x_hi)))}{_fmt(x_hi)}"
+    lines.append(" " * (margin + 2) + x_axis + f"  ({x_label})")
+    for idx, s in enumerate(series):
+        lines.append(f"  {GLYPHS[idx % len(GLYPHS)]} {s.label}")
+    return "\n".join(lines)
+
+
+def render_series_table(series: list[Series], *, value_fmt: str = "{:.3f}") -> str:
+    """Render curves as an aligned text table (loads as columns)."""
+    if not series:
+        raise ValueError("no series to tabulate")
+    loads = series[0].loads
+    for s in series:
+        if s.loads != loads:
+            raise ValueError("series have mismatched load grids")
+    label_w = max(len(s.label) for s in series)
+    header = " " * label_w + " | " + " ".join(f"{ld:>9}" for ld in loads)
+    sep = "-" * len(header)
+    rows = [header, sep]
+    for s in series:
+        cells = " ".join(
+            f"{value_fmt.format(v) if math.isfinite(v) else '—':>9}" for v in s.values
+        )
+        rows.append(f"{s.label:<{label_w}} | {cells}")
+    return "\n".join(rows)

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+* ``list`` — registered experiments.
+* ``run <exp_id ...>`` — reproduce figures/tables at a chosen scale; prints
+  an ASCII plot + value table per figure, optionally exports CSV/JSON.
+* ``trace <kind>`` — generate a mobility trace file (canonical format).
+* ``stats <file>`` — contact statistics of a trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.ascii_plot import render_plot, render_series_table
+from repro.analysis.figures import FigureData
+from repro.analysis.io import write_series_csv, write_series_json
+from repro.experiments.registry import get_experiment, iter_experiments
+from repro.experiments.runner import SCALES, ExperimentRunner
+from repro.mobility.rwp import ClassicRWP, RWPConfig, SubscriberPointRWP
+from repro.mobility.stats import compute_trace_stats
+from repro.mobility.synthetic import CampusTraceGenerator
+from repro.mobility.trace_file import read_contact_trace, write_contact_trace
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for exp in iter_experiments():
+        print(f"{exp.exp_id:<8} [{exp.kind}]  {exp.title}")
+        print(f"         {exp.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(
+        scale=args.scale,
+        seed=args.seed,
+        progress=(lambda msg: print(f"  .. {msg}", file=sys.stderr))
+        if args.verbose
+        else None,
+    )
+    exp_ids = args.experiments
+    if exp_ids == ["all"]:
+        exp_ids = [e.exp_id for e in iter_experiments()]
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in exp_ids:
+        exp = get_experiment(exp_id)
+        t0 = time.time()
+        artefact = exp.build(runner)
+        elapsed = time.time() - t0
+        print(f"==== {exp.title} ({elapsed:.1f}s) ====")
+        if isinstance(artefact, FigureData):
+            print(render_plot(artefact.series, title="", y_label=artefact.y_label))
+            print()
+            print(render_series_table(artefact.series))
+            if out_dir is not None:
+                write_series_csv(artefact.series, out_dir / f"{exp_id}.csv")
+                write_series_json(
+                    artefact.series,
+                    out_dir / f"{exp_id}.json",
+                    meta={
+                        "experiment": exp_id,
+                        "title": exp.title,
+                        "metric": artefact.metric,
+                        "scale": runner.scale.name,
+                        "seed": runner.seed,
+                    },
+                )
+        else:
+            print(artefact)
+            if out_dir is not None:
+                (out_dir / f"{exp_id}.txt").write_text(artefact + "\n", encoding="utf-8")
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.kind == "campus":
+        trace = CampusTraceGenerator(seed=args.seed).generate()
+    elif args.kind == "rwp":
+        trace = SubscriberPointRWP(RWPConfig(), seed=args.seed).generate()
+    elif args.kind == "classic-rwp":
+        trace = ClassicRWP(seed=args.seed).generate()
+    else:  # pragma: no cover - argparse choices guard this
+        raise AssertionError(args.kind)
+    write_contact_trace(trace, args.out)
+    st = compute_trace_stats(trace)
+    print(
+        f"wrote {args.out}: {st.num_contacts} contacts, {st.num_nodes} nodes, "
+        f"horizon {st.horizon:.0f}s"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = read_contact_trace(args.file)
+    st = compute_trace_stats(trace)
+    for key, value in st.as_dict().items():
+        print(f"{key:>28}: {value:.4g}" if isinstance(value, float) else f"{key:>28}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified study of epidemic routing protocols (Feng & Chin, IPDPSW 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="reproduce figures/tables")
+    p_run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see `repro list`) or 'all'",
+    )
+    p_run.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick", help="sweep grid size"
+    )
+    p_run.add_argument("--seed", type=int, default=7, help="master seed")
+    p_run.add_argument("--out", default=None, help="directory for CSV/JSON exports")
+    p_run.add_argument("--verbose", action="store_true", help="progress on stderr")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser("trace", help="generate a mobility trace file")
+    p_trace.add_argument("kind", choices=["campus", "rwp", "classic-rwp"])
+    p_trace.add_argument("--seed", type=int, default=7)
+    p_trace.add_argument("--out", required=True, help="output path")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_stats = sub.add_parser("stats", help="contact statistics of a trace file")
+    p_stats.add_argument("file")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: the unified evaluation framework.
+
+Everything needed to run one protocol on one mobility input and measure the
+paper's four metrics lives here:
+
+* data plane: :mod:`~repro.core.bundle`, :mod:`~repro.core.buffer`,
+  :mod:`~repro.core.node`
+* policy plane: :mod:`~repro.core.protocols` (the 5 baselines and 3
+  enhancements)
+* mechanism: :mod:`~repro.core.session` (encounter semantics),
+  :mod:`~repro.core.simulation` (the DES driver)
+* measurement: :mod:`~repro.core.metrics` (exact time-weighted integrals),
+  :mod:`~repro.core.results`
+* experiment engine: :mod:`~repro.core.workload`, :mod:`~repro.core.sweep`
+"""
+
+from repro.core.buffer import BufferFullError, RelayStore
+from repro.core.bundle import (
+    NO_EXPIRY,
+    Bundle,
+    BundleId,
+    StoredBundle,
+    make_flow_bundles,
+)
+from repro.core.metrics import MetricsCollector, TimeWeightedAccumulator
+from repro.core.node import EncounterHistory, Node
+from repro.core.results import RunResult, Series, SeriesPoint, SweepResult
+from repro.core.session import ContactSession
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.sweep import SweepConfig, constant_trace, run_single, run_sweep
+from repro.core.workload import (
+    PAPER_LOADS,
+    PAPER_REPLICATIONS,
+    Flow,
+    draw_endpoints,
+    multi_flow,
+    single_flow,
+    total_offered,
+)
+
+__all__ = [
+    "NO_EXPIRY",
+    "Bundle",
+    "BundleId",
+    "StoredBundle",
+    "make_flow_bundles",
+    "BufferFullError",
+    "RelayStore",
+    "Node",
+    "EncounterHistory",
+    "MetricsCollector",
+    "TimeWeightedAccumulator",
+    "ContactSession",
+    "Simulation",
+    "SimulationConfig",
+    "RunResult",
+    "Series",
+    "SeriesPoint",
+    "SweepResult",
+    "SweepConfig",
+    "run_sweep",
+    "run_single",
+    "constant_trace",
+    "Flow",
+    "single_flow",
+    "multi_flow",
+    "draw_endpoints",
+    "total_offered",
+    "PAPER_LOADS",
+    "PAPER_REPLICATIONS",
+]

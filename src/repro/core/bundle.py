@@ -1,0 +1,119 @@
+"""Bundles — the unit of data in a DTN — and per-copy state.
+
+Terminology follows the paper: a *bundle* is a (large) application message;
+nodes buffer *copies* of bundles and exchange them during encounters. The
+immutable :class:`Bundle` describes the message itself; the mutable
+:class:`StoredBundle` describes one node's copy (its encounter count, TTL
+expiry, where it came from).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Expiry value meaning "never expires".
+NO_EXPIRY = math.inf
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class BundleId:
+    """Globally unique bundle identity.
+
+    ``flow`` identifies the (source, destination) conversation; ``seq`` is
+    the 1-based position within the flow. Sequential ``seq`` values are what
+    the cumulative immunity table compresses ("table id 30 means bundles
+    1..30 were delivered").
+    """
+
+    flow: int
+    seq: int
+
+    def __post_init__(self) -> None:
+        if self.seq < 1:
+            raise ValueError(f"bundle seq is 1-based, got {self.seq}")
+        if self.flow < 0:
+            raise ValueError(f"flow id must be >= 0, got {self.flow}")
+
+    def __str__(self) -> str:  # compact rendering for logs/tests
+        return f"{self.flow}.{self.seq}"
+
+
+@dataclass(frozen=True, slots=True)
+class Bundle:
+    """An immutable DTN message.
+
+    Attributes:
+        bid: Unique id (flow, seq).
+        source: Originating node id.
+        destination: Final recipient node id.
+        created_at: Creation time at the source, seconds.
+    """
+
+    bid: BundleId
+    source: int
+    destination: int
+    created_at: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("bundle source and destination must differ")
+        if self.created_at < 0:
+            raise ValueError("created_at must be >= 0")
+
+
+@dataclass(slots=True)
+class StoredBundle:
+    """One node's copy of a bundle, with per-copy protocol state.
+
+    Attributes:
+        bundle: The message this copy carries.
+        stored_at: When this node obtained the copy.
+        is_origin: True for the source's own application-queue copy.
+        ec: Encounter count carried by the copy — incremented every time the
+            copy is transmitted, and inherited by the receiver's new copy
+            (paper Fig. "Epidemic with EC" worked example).
+        expiry: Absolute expiry time; ``NO_EXPIRY`` if the protocol assigns
+            no TTL. Maintained by the protocol, enforced by the simulation.
+        expiry_event: Handle of the scheduled expiry event (simulation-owned).
+    """
+
+    bundle: Bundle
+    stored_at: float
+    is_origin: bool = False
+    ec: int = 0
+    expiry: float = NO_EXPIRY
+    expiry_event: Any = field(default=None, repr=False)
+    #: Free-form per-copy protocol state (e.g. spray tokens). Travels with
+    #: the node's copy, not with the bundle.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def bid(self) -> BundleId:
+        return self.bundle.bid
+
+    def is_expired(self, now: float) -> bool:
+        """True if the copy's TTL has run out at time ``now``."""
+        return now >= self.expiry
+
+    def remaining_ttl(self, now: float) -> float:
+        """Seconds of TTL left (inf when no TTL is set)."""
+        return self.expiry - now
+
+
+def make_flow_bundles(
+    flow: int, source: int, destination: int, count: int, created_at: float = 0.0
+) -> list[Bundle]:
+    """Create the ``count`` sequential bundles of one flow (seq 1..count)."""
+    if count < 1:
+        raise ValueError(f"a flow needs at least one bundle, got {count}")
+    return [
+        Bundle(
+            bid=BundleId(flow=flow, seq=s),
+            source=source,
+            destination=destination,
+            created_at=created_at,
+        )
+        for s in range(1, count + 1)
+    ]

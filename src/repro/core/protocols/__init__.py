@@ -1,0 +1,64 @@
+"""Epidemic routing protocol implementations (the paper's taxonomy).
+
+Baselines: pure epidemic, P-Q epidemic, epidemic with constant TTL,
+epidemic with encounter count (EC), epidemic with per-bundle immunity.
+
+Enhancements: dynamic TTL (Algo 1), EC+TTL (Algo 2), cumulative immunity.
+
+Protocols are policy objects bound to one node each; see
+:mod:`repro.core.protocols.base` for the hook contract and
+:mod:`repro.core.protocols.registry` for name-based construction.
+"""
+
+from repro.core.protocols.base import ControlMessage, Protocol, SimulationServices
+from repro.core.protocols.ec import ECConfig, ECEpidemic, ECTTLConfig, ECTTLEpidemic
+from repro.core.protocols.immunity import (
+    CumulativeImmunityConfig,
+    CumulativeImmunityEpidemic,
+    ImmunityConfig,
+    ImmunityEpidemic,
+)
+from repro.core.protocols.pq import PQEpidemic, PQEpidemicConfig
+from repro.core.protocols.pure import PureEpidemic, PureEpidemicConfig
+from repro.core.protocols.registry import (
+    ProtocolConfig,
+    default_baseline_configs,
+    default_enhanced_configs,
+    make_protocol_config,
+    protocol_names,
+    register_protocol,
+)
+from repro.core.protocols.ttl import (
+    DynamicTTLConfig,
+    DynamicTTLEpidemic,
+    FixedTTLConfig,
+    FixedTTLEpidemic,
+)
+
+__all__ = [
+    "ControlMessage",
+    "Protocol",
+    "SimulationServices",
+    "ProtocolConfig",
+    "PureEpidemic",
+    "PureEpidemicConfig",
+    "PQEpidemic",
+    "PQEpidemicConfig",
+    "FixedTTLEpidemic",
+    "FixedTTLConfig",
+    "DynamicTTLEpidemic",
+    "DynamicTTLConfig",
+    "ECEpidemic",
+    "ECConfig",
+    "ECTTLEpidemic",
+    "ECTTLConfig",
+    "ImmunityEpidemic",
+    "ImmunityConfig",
+    "CumulativeImmunityEpidemic",
+    "CumulativeImmunityConfig",
+    "default_baseline_configs",
+    "default_enhanced_configs",
+    "make_protocol_config",
+    "protocol_names",
+    "register_protocol",
+]

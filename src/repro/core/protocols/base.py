@@ -1,0 +1,219 @@
+"""Protocol interface — the policy layer of the unified framework.
+
+Every epidemic variant is one :class:`Protocol` subclass bound to one node.
+The contact session and simulation provide mechanism (who meets whom, slot
+budgets, copy bookkeeping); protocols decide policy:
+
+* what control information is exchanged at contact start
+  (:meth:`Protocol.control_payload` / :meth:`Protocol.receive_control`),
+* which bundles are offered (:meth:`Protocol.should_offer`) and whether the
+  receiver can take them (:meth:`Protocol.can_accept` /
+  :meth:`Protocol.accept`),
+* what happens to copies on transmission/reception (EC increments, TTL
+  assignment/renewal — :meth:`Protocol.on_transmitted` /
+  :meth:`Protocol.on_copy_received`),
+* what the destination does on delivery (:meth:`Protocol.on_delivered` —
+  anti-packet / immunity-table generation).
+
+The base class implements **pure epidemic** behaviour: offer everything the
+peer lacks, accept while there is room (drop-tail), no TTL, no purging. Every
+variant overrides only the hooks it changes, which keeps the implementations
+honest about *what* each protocol actually adds — the paper's taxonomy made
+executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol as TypingProtocol
+
+from repro.core.buffer import BufferFullError
+from repro.core.bundle import Bundle, BundleId, StoredBundle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.node import Node
+
+
+class SimulationServices(TypingProtocol):
+    """The slice of the simulation that protocols are allowed to touch."""
+
+    @property
+    def now(self) -> float: ...
+
+    def remove_copy(self, node: "Node", bid: BundleId, reason: str) -> None:
+        """Remove a live copy (origin or relay) with metric bookkeeping."""
+
+    def set_expiry(self, node: "Node", sb: StoredBundle, expiry: float) -> None:
+        """(Re)schedule TTL expiry for a stored copy."""
+
+    def count_control_units(self, node: "Node", kind: str, units: int) -> None:
+        """Account control-plane transmissions (anti-packets, immunity...)."""
+
+    def set_control_storage(self, node: "Node", slots: float) -> None:
+        """Set the node's stored-table footprint in (fractional) slots."""
+
+
+@dataclass
+class ControlMessage:
+    """Control-plane payload exchanged at contact start.
+
+    Attributes:
+        sender: Originating node id.
+        summary: Ids of bundles the sender holds or has consumed (the
+            summary vector of the anti-entropy session).
+        delivered_ids: Per-bundle delivery knowledge (anti-packets for P-Q,
+            the i-list for immunity).
+        cumulative: Per-flow cumulative immunity tables:
+            ``{flow: highest contiguous delivered seq}``.
+        extras: Free-form protocol state for extension protocols (e.g.
+            PRoPHET delivery-predictability vectors).
+    """
+
+    sender: int
+    summary: frozenset[BundleId] = frozenset()
+    delivered_ids: frozenset[BundleId] = frozenset()
+    cumulative: dict[int, int] = field(default_factory=dict)
+    extras: dict[str, object] = field(default_factory=dict)
+
+
+class Protocol:
+    """Base protocol = pure epidemic. Subclasses override policy hooks."""
+
+    #: Registry name; subclasses must set this.
+    name = "pure"
+    #: Signaling-accounting category for protocol-specific control units.
+    control_kind = "summary_vector"
+
+    def __init__(self, node: "Node", sim: SimulationServices, rng: "np.random.Generator") -> None:
+        self.node = node
+        self.sim = sim
+        self.rng = rng
+
+    # ------------------------------------------------------------- lifecycle
+
+    def on_bundle_created(self, sb: StoredBundle, now: float) -> None:
+        """Called when this node originates ``sb`` (sets initial TTL etc.)."""
+
+    def on_encounter_started(self, peer: "Node", now: float) -> None:
+        """Called at contact start, after encounter history is updated."""
+
+    # ---------------------------------------------------------- control plane
+
+    def control_payload(self, now: float) -> ControlMessage:
+        """Control message sent to the peer at contact start."""
+        return ControlMessage(sender=self.node.id, summary=self._summary())
+
+    def receive_control(self, msg: ControlMessage, now: float) -> None:
+        """Process the peer's control message (purge, merge lists, ...)."""
+
+    def control_units(self, msg: ControlMessage) -> int:
+        """Units this message costs for the signaling-overhead metric.
+
+        The summary vector is common to every protocol and excluded; only
+        protocol-specific state (anti-packets, immunity tables) counts.
+        """
+        return 0
+
+    def _summary(self) -> frozenset[BundleId]:
+        """Summary vector: everything held or already consumed here."""
+        return frozenset(
+            list(self.node.relay.ids())
+            + list(self.node.origin.keys())
+            + list(self.node.delivered.keys())
+        )
+
+    # ------------------------------------------------------- delivery knowledge
+
+    def knows_delivered(self, bid: BundleId) -> bool:
+        """True if this node knows ``bid`` already reached its destination."""
+        return False
+
+    # ------------------------------------------------------------- send side
+
+    def should_offer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+        """Decide (possibly probabilistically) to offer ``sb`` this contact.
+
+        Called at most once per (bundle, contact); a False answer is cached
+        by the session for the rest of the contact (the P-Q semantics).
+        """
+        return True
+
+    def confirm_transfer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+        """Final go/no-go when a planned transfer completes.
+
+        Between planning and completion (one ``bundle_tx_time``), concurrent
+        contacts may have consumed whatever resource justified the offer
+        (e.g. spray tokens). Unlike :meth:`should_offer` this must be
+        deterministic — probabilistic decisions stay at planning time so
+        their odds are not applied twice.
+        """
+        return True
+
+    def on_transmitted(self, sb: StoredBundle, peer: "Node", now: float) -> None:
+        """Update the sender's copy after a completed transmission.
+
+        Base behaviour increments the copy's encounter count (the EC tag
+        travels with every bundle even when the policy ignores it).
+        """
+        sb.ec += 1
+
+    # ---------------------------------------------------------- receive side
+
+    def can_accept(self, bundle: Bundle, now: float) -> bool:
+        """Planning-time check: could a copy of ``bundle`` be stored?
+
+        The destination always accepts (delivery consumes no buffer).
+        Drop-tail protocols need a free slot; eviction-based protocols
+        override this to say yes when room can be made.
+        """
+        if bundle.destination == self.node.id:
+            return True
+        return not self.node.relay.is_full
+
+    def accept(
+        self,
+        bundle: Bundle,
+        ec: int,
+        now: float,
+        sender_copy: StoredBundle | None = None,
+    ) -> StoredBundle | None:
+        """Store a received copy, applying the protocol's buffer policy.
+
+        Args:
+            ec: The encounter count carried by the incoming copy (already
+                incremented by the sender's :meth:`on_transmitted`).
+            sender_copy: The sender's stored copy, for protocols whose
+                per-copy state travels with the bundle (e.g. spray tokens).
+
+        Returns:
+            The stored copy, or None if the bundle was refused (the slot is
+            consumed regardless — the transmission happened).
+        """
+        if self.node.relay.is_full and not self._make_room(bundle, ec, now):
+            return None
+        sb = StoredBundle(bundle=bundle, stored_at=now, ec=ec)
+        try:
+            self.node.relay.add(sb)
+        except BufferFullError:
+            return None
+        self.on_copy_received(sb, now, sender_copy=sender_copy)
+        return sb
+
+    def _make_room(self, incoming: Bundle, ec: int, now: float) -> bool:
+        """Evict to fit ``incoming``; base (drop-tail) never evicts."""
+        return False
+
+    def on_copy_received(
+        self, sb: StoredBundle, now: float, sender_copy: StoredBundle | None = None
+    ) -> None:
+        """Initialise per-copy state (TTL) after storing a received copy."""
+
+    # ------------------------------------------------------------ destination
+
+    def on_delivered(self, bundle: Bundle, now: float) -> None:
+        """Called at the destination when ``bundle`` is delivered."""
+
+
+__all__ = ["ControlMessage", "Protocol", "SimulationServices"]

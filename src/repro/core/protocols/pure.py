@@ -1,0 +1,48 @@
+"""Pure epidemic routing (Vahdat & Becker 2002).
+
+The baseline of the taxonomy: at every encounter the two nodes run an
+anti-entropy session — exchange summary vectors and transfer every bundle the
+peer lacks, as capacity allows. Copies are never purged or expired, so buffer
+occupancy only ever grows (the limitation motivating all other variants).
+
+This is exactly the behaviour of the :class:`~repro.core.protocols.base.Protocol`
+base class; the subclass exists so the registry and reports have an explicit
+name for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.protocols.base import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.node import Node
+    from repro.core.protocols.base import SimulationServices
+
+
+class PureEpidemic(Protocol):
+    """Summary-vector flooding with drop-tail buffers."""
+
+    name = "pure"
+
+
+@dataclass(frozen=True)
+class PureEpidemicConfig:
+    """Factory for :class:`PureEpidemic` (no parameters)."""
+
+    protocol_name = "pure"
+
+    @property
+    def label(self) -> str:
+        """Human-readable protocol label for reports."""
+        return "Pure epidemic"
+
+    def build(
+        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+    ) -> PureEpidemic:
+        """Bind a protocol instance to ``node``."""
+        return PureEpidemic(node, sim, rng)

@@ -1,0 +1,133 @@
+"""Protocol registry: name → configuration factory.
+
+The registry decouples experiment definitions (which refer to protocols by
+name + keyword overrides) from the implementations, and gives downstream
+users a single extension point::
+
+    from repro.core.protocols import register_protocol
+
+    @register_protocol
+    @dataclass(frozen=True)
+    class MyConfig:
+        protocol_name = "mine"
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Protocol as TypingProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.node import Node
+    from repro.core.protocols.base import Protocol, SimulationServices
+
+
+class ProtocolConfig(TypingProtocol):
+    """Structural type every protocol configuration satisfies."""
+
+    protocol_name: str
+
+    @property
+    def label(self) -> str: ...
+
+    def build(
+        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+    ) -> "Protocol": ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_protocol(config_cls: type) -> type:
+    """Class decorator: add a config class to the registry.
+
+    Raises:
+        ValueError: if the class lacks ``protocol_name`` or the name is
+            already taken by a different class.
+    """
+    name = getattr(config_cls, "protocol_name", None)
+    if not name:
+        raise ValueError(f"{config_cls.__name__} must define protocol_name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not config_cls:
+        raise ValueError(
+            f"protocol name {name!r} already registered by {existing.__name__}"
+        )
+    _REGISTRY[name] = config_cls
+    return config_cls
+
+
+def protocol_names() -> list[str]:
+    """All registered protocol names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_protocol_config(name: str, **overrides: Any) -> ProtocolConfig:
+    """Instantiate a registered protocol configuration.
+
+    Args:
+        name: Registry name (e.g. ``"pq"``, ``"dynamic_ttl"``).
+        **overrides: Constructor keyword arguments (e.g. ``p=0.5``).
+
+    Raises:
+        KeyError: for an unknown name (message lists what is available).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(protocol_names())}"
+        ) from None
+    return cls(**overrides)
+
+
+def default_baseline_configs() -> list[ProtocolConfig]:
+    """The four baseline protocols as the paper's figures parameterise them."""
+    return [
+        make_protocol_config("pq", p=1.0, q=1.0),
+        make_protocol_config("ttl", ttl=300.0),
+        make_protocol_config("ec"),
+        make_protocol_config("immunity"),
+    ]
+
+
+def default_enhanced_configs() -> list[ProtocolConfig]:
+    """The three enhancements with Algorithm 1/2 defaults."""
+    return [
+        make_protocol_config("dynamic_ttl"),
+        make_protocol_config("ec_ttl"),
+        make_protocol_config("cumulative_immunity"),
+    ]
+
+
+def _register_builtins() -> None:
+    from repro.core.protocols.ec import ECConfig, ECTTLConfig
+    from repro.core.protocols.extensions import ProphetConfig, SprayAndWaitConfig
+    from repro.core.protocols.immunity import CumulativeImmunityConfig, ImmunityConfig
+    from repro.core.protocols.pq import PQEpidemicConfig
+    from repro.core.protocols.pure import PureEpidemicConfig
+    from repro.core.protocols.ttl import DynamicTTLConfig, FixedTTLConfig
+
+    for cls in (
+        PureEpidemicConfig,
+        PQEpidemicConfig,
+        FixedTTLConfig,
+        DynamicTTLConfig,
+        ECConfig,
+        ECTTLConfig,
+        ImmunityConfig,
+        CumulativeImmunityConfig,
+        SprayAndWaitConfig,
+        ProphetConfig,
+    ):
+        register_protocol(cls)
+
+
+def iter_registry() -> Iterable[tuple[str, type]]:
+    """(name, config class) pairs, sorted by name."""
+    return sorted(_REGISTRY.items())
+
+
+_register_builtins()

@@ -1,0 +1,194 @@
+"""Contact session: what happens while two nodes are within range.
+
+Implements the paper's encounter semantics:
+
+* The pair can move ``floor(duration / bundle_tx_time)`` bundles during the
+  contact (Section IV's worked example: a 314 s encounter carries 3 bundles
+  at 100 s each). The link is half-duplex — one bundle in flight at a time —
+  and the **lower-ID node transmits first** (the paper's collision-avoidance
+  rule); the higher-ID node uses whatever budget remains.
+* At contact start the control plane is exchanged "for free": summary
+  vectors plus protocol-specific state (anti-packets / immunity tables).
+  Free w.r.t. the transfer budget, but *counted* by the signaling metric.
+* Each transfer is planned against the *current* state of both nodes (the
+  summary-vector view refreshed within the encounter) and re-validated when
+  it completes ``bundle_tx_time`` later — a copy can disappear mid-flight
+  (TTL expiry, eviction by a concurrent contact, immunity purge), in which
+  case the slot is consumed but wasted.
+* Candidate order: bundles destined for the peer first, then oldest-stored
+  first. P-Q coin flips are remembered per (direction, bundle) for the
+  whole contact — a failed flip skips the bundle until the nodes part.
+
+Planning honesty: a sender only schedules a transfer the receiver can
+actually take (free slot, evictable victim, or the receiver is the bundle's
+destination); anti-entropy gives it that knowledge. If neither side has a
+transmittable bundle the session goes idle for the remainder of the contact
+(new arrivals via *concurrent* contacts do not re-awaken it — a documented
+simplification that only matters when contacts overlap heavily).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.core.bundle import BundleId, StoredBundle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.node import Node
+    from repro.core.simulation import Simulation
+    from repro.mobility.contact import Contact
+
+
+class ContactSession:
+    """One encounter's exchange state machine."""
+
+    def __init__(self, sim: "Simulation", contact: "Contact") -> None:
+        self.sim = sim
+        self.contact = contact
+        self.node_a = sim.nodes[contact.a]  # lower id — transmits first
+        self.node_b = sim.nodes[contact.b]
+        self.budget = int(math.floor(contact.duration / sim.config.bundle_tx_time))
+        self.t_cursor = contact.start
+        self.idle = False
+        #: (sender_id, bid) pairs whose P-Q coin failed this contact
+        self._coin_rejected: set[tuple[int, BundleId]] = set()
+        self.transfers_completed = 0
+
+    # --------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Contact-start processing: history, control exchange, first slot."""
+        now = self.contact.start
+        for node, peer in (
+            (self.node_a, self.node_b),
+            (self.node_b, self.node_a),
+        ):
+            node.history.note_encounter(now)
+            node.protocol.on_encounter_started(peer, now)
+        # Control plane: both payloads are built from pre-exchange state,
+        # then delivered — a symmetric, simultaneous swap.
+        msg_a = self.node_a.protocol.control_payload(now)
+        msg_b = self.node_b.protocol.control_payload(now)
+        for sender, msg in ((self.node_a, msg_a), (self.node_b, msg_b)):
+            units = sender.protocol.control_units(msg)
+            if units:
+                self.sim.count_control_units(
+                    sender, sender.protocol.control_kind, units
+                )
+            self.sim.count_control_units(sender, "summary_vector", 1)
+        self.node_b.protocol.receive_control(msg_a, now)
+        self.node_a.protocol.receive_control(msg_b, now)
+        self._schedule_next(now)
+
+    # --------------------------------------------------------------- planning
+
+    def _receiver_can_take(self, receiver: "Node", sb: StoredBundle, now: float) -> bool:
+        return receiver.protocol.can_accept(sb.bundle, now)
+
+    def _candidates(
+        self, sender: "Node", receiver: "Node", now: float
+    ) -> list[StoredBundle]:
+        out: list[StoredBundle] = []
+        for sb in sender.sendable():
+            bid = sb.bid
+            if sb.is_expired(now):
+                continue  # expiry event fires at the same instant; skip now
+            if (sender.id, bid) in self._coin_rejected:
+                continue
+            if receiver.has_copy(bid):
+                continue
+            if receiver.protocol.knows_delivered(bid) or sender.protocol.knows_delivered(bid):
+                continue
+            if not self._receiver_can_take(receiver, sb, now):
+                continue
+            out.append(sb)
+        out.sort(
+            key=lambda sb: (
+                0 if sb.bundle.destination == receiver.id else 1,
+                sb.stored_at,
+                sb.bid,
+            )
+        )
+        return out
+
+    def _plan(self, now: float) -> tuple["Node", "Node", StoredBundle] | None:
+        """Next transfer: lower-ID sender preferred, coin flips cached."""
+        for sender, receiver in (
+            (self.node_a, self.node_b),
+            (self.node_b, self.node_a),
+        ):
+            for sb in self._candidates(sender, receiver, now):
+                if sender.protocol.should_offer(sb, receiver, now):
+                    return sender, receiver, sb
+                self._coin_rejected.add((sender.id, sb.bid))
+        return None
+
+    def _schedule_next(self, now: float) -> None:
+        if self.budget <= 0:
+            return
+        slot_end = self.t_cursor + self.sim.config.bundle_tx_time
+        if slot_end > self.contact.end + 1e-9:
+            return
+        pick = self._plan(now)
+        if pick is None:
+            self.idle = True
+            return
+        sender, receiver, sb = pick
+        self.t_cursor = slot_end
+        self.sim.engine.at(
+            slot_end,
+            lambda: self._on_transfer_complete(sender, receiver, sb),
+            tag=f"xfer:{sb.bid}:{sender.id}->{receiver.id}",
+        )
+
+    # -------------------------------------------------------------- completion
+
+    def _on_transfer_complete(
+        self, sender: "Node", receiver: "Node", sb: StoredBundle
+    ) -> None:
+        now = self.sim.engine.now
+        self.budget -= 1
+        bid = sb.bid
+        # Re-validate the receiver side: it may have obtained the bundle (or
+        # learned it was delivered) through a concurrent contact mid-flight.
+        if receiver.has_copy(bid) or receiver.protocol.knows_delivered(bid):
+            self.sim.metrics.on_wasted_slot()
+            self._schedule_next(now)
+            return
+        # Sender side: the transmission started bundle_tx_time ago, so the
+        # bits are on the air even if the stored copy expired or was evicted
+        # mid-flight — the transfer still completes. The one exception is
+        # delivery knowledge: a sender that learned the bundle already
+        # arrived aborts the (now pointless) transmission.
+        if sender.protocol.knows_delivered(bid):
+            self.sim.metrics.on_wasted_slot()
+            self._schedule_next(now)
+            return
+        still_held = sender.get_copy(bid) is sb
+        if still_held and not sender.protocol.confirm_transfer(sb, receiver, now):
+            self.sim.metrics.on_wasted_slot()
+            self._schedule_next(now)
+            return
+        if still_held:
+            # Sender-side bookkeeping first: EC increments before the
+            # receiver's copy inherits the value (the paper's EC example).
+            sender.protocol.on_transmitted(sb, receiver, now)
+            ec_for_receiver = sb.ec
+        else:
+            # The copy vanished mid-flight: no renewal/ageing on the sender,
+            # but the receiver's copy still carries the incremented count.
+            ec_for_receiver = sb.ec + 1
+        sender.counters.bundles_sent += 1
+        self.sim.metrics.on_transmission()
+        self.transfers_completed += 1
+        if sb.bundle.destination == receiver.id:
+            self.sim.deliver(receiver, sb.bundle, now, via=sender.id)
+        else:
+            stored = self.sim.store_received_copy(
+                receiver, sb.bundle, ec_for_receiver, now, sender_copy=sb
+            )
+            if not stored:
+                receiver.counters.rejections += 1
+                self.sim.metrics.on_wasted_slot()
+        self._schedule_next(now)

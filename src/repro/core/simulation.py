@@ -1,0 +1,250 @@
+"""The simulation driver: one run = one protocol × one trace × one workload.
+
+Wiring: contacts become contact-start events on the DES engine; each spawns
+a :class:`~repro.core.session.ContactSession` which schedules per-bundle
+transfer completions. TTL expiries are first-class events so occupancy and
+duplication integrals change at the *right* instant even when a node sits
+idle. The run ends when every offered bundle is delivered (success — the
+delay metric is that instant) or when the trace horizon is reached first
+(failure — the paper records no delay, but delivery ratio, occupancy and
+duplication still count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bundle import NO_EXPIRY, Bundle, BundleId, StoredBundle
+from repro.core.metrics import MetricsCollector
+from repro.core.node import Node
+from repro.core.protocols.registry import ProtocolConfig
+from repro.core.results import RunResult
+from repro.core.session import ContactSession
+from repro.core.workload import Flow, total_offered
+from repro.des.engine import Engine
+from repro.des.rng import RngHub
+from repro.mobility.contact import ContactTrace
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Mechanism parameters common to every protocol (paper Section IV).
+
+    Attributes:
+        buffer_capacity: Relay buffer slots per node (paper: 10 bundles).
+        bundle_tx_time: Seconds to transmit one bundle (paper: 100 s —
+            bundles are large; a contact of duration d carries
+            floor(d / bundle_tx_time) bundles).
+    """
+
+    buffer_capacity: int = 10
+    bundle_tx_time: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        if self.bundle_tx_time <= 0:
+            raise ValueError("bundle_tx_time must be positive")
+
+
+class Simulation:
+    """A single, deterministic simulation run."""
+
+    def __init__(
+        self,
+        trace: ContactTrace,
+        protocol_config: ProtocolConfig,
+        flows: list[Flow],
+        *,
+        config: SimulationConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not flows:
+            raise ValueError("at least one flow is required")
+        for f in flows:
+            if not (0 <= f.source < trace.num_nodes and 0 <= f.destination < trace.num_nodes):
+                raise ValueError(f"flow {f} references nodes outside the trace population")
+        self.trace = trace
+        self.protocol_config = protocol_config
+        self.flows = flows
+        self.config = config or SimulationConfig()
+        self.seed = seed
+        self.engine = Engine()
+        self.metrics = MetricsCollector(trace.num_nodes, self.config.buffer_capacity)
+        hub = RngHub(seed)
+        self.nodes: list[Node] = []
+        for i in range(trace.num_nodes):
+            node = Node(i, self.config.buffer_capacity)
+            node.protocol = protocol_config.build(
+                node, self, hub.stream("protocol", i)
+            )
+            self.nodes.append(node)
+        self._offered = total_offered(flows)
+        self._delivered_total = 0
+        self._ran = False
+
+    # ---------------------------------------------------------------- services
+    # (the SimulationServices surface protocols and sessions rely on)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def remove_copy(self, node: Node, bid: BundleId, reason: str) -> None:
+        """Remove a live copy with full metric/counter bookkeeping."""
+        was_relay = bid in node.relay
+        sb = node.remove_copy(bid)
+        self._cancel_expiry(sb)
+        if was_relay:
+            self.metrics.on_buffer_delta(-1, self.now)
+        self.metrics.on_copy_delta(bid, -1, self.now)
+        self.metrics.on_removal(reason)
+        if reason == "expired":
+            node.counters.expiries += 1
+        elif reason == "immunized":
+            node.counters.immunized_purges += 1
+
+    def set_expiry(self, node: Node, sb: StoredBundle, expiry: float) -> None:
+        """(Re)arm a copy's TTL expiry event."""
+        self._cancel_expiry(sb)
+        sb.expiry = expiry
+        if math.isinf(expiry):
+            return
+        if expiry <= self.now:
+            # Zero/negative TTL: the copy dies right away, but via an event
+            # so ordering with the current action stays well-defined.
+            expiry = self.now
+        sb.expiry_event = self.engine.at(
+            expiry, lambda: self._on_expiry(node, sb), tag=f"expire:{sb.bid}@{node.id}"
+        )
+
+    def count_control_units(self, node: Node, kind: str, units: int) -> None:
+        self.metrics.on_control_units(kind, units)
+        node.counters.control_units_sent += units
+
+    def set_control_storage(self, node: Node, slots: float) -> None:
+        """Set a node's stored-table footprint (fractional buffer slots)."""
+        if slots < 0:
+            raise ValueError("control storage cannot be negative")
+        delta = slots - node.control_storage
+        if delta:
+            node.control_storage = slots
+            self.metrics.on_control_storage_delta(delta, self.now)
+
+    def deliver(
+        self, receiver: Node, bundle: Bundle, now: float, via: int | None = None
+    ) -> None:
+        """Final delivery at the destination (``via`` = handing-over node)."""
+        receiver.mark_delivered(bundle.bid, now)
+        receiver.counters.bundles_delivered += 1
+        self.metrics.on_delivered(bundle.bid, now, via=via)
+        self.metrics.on_copy_delta(bundle.bid, +1, now)
+        self._delivered_total += 1
+        receiver.protocol.on_delivered(bundle, now)
+
+    def store_received_copy(
+        self,
+        receiver: Node,
+        bundle: Bundle,
+        ec: int,
+        now: float,
+        sender_copy: StoredBundle | None = None,
+    ) -> StoredBundle | None:
+        """Run the receiver's buffer policy; account the stored copy."""
+        sb = receiver.protocol.accept(bundle, ec, now, sender_copy=sender_copy)
+        if sb is None:
+            return None
+        receiver.counters.bundles_received += 1
+        self.metrics.on_buffer_delta(+1, now)
+        self.metrics.on_copy_delta(bundle.bid, +1, now)
+        return sb
+
+    # ---------------------------------------------------------------- internals
+
+    def _cancel_expiry(self, sb: StoredBundle) -> None:
+        if sb.expiry_event is not None:
+            self.engine.cancel(sb.expiry_event)
+            sb.expiry_event = None
+        sb.expiry = NO_EXPIRY
+
+    def _on_expiry(self, node: Node, sb: StoredBundle) -> None:
+        # The handle is cancelled on removal/renewal, so if we fire, the
+        # copy should still be live — but guard against same-instant races.
+        if node.get_copy(sb.bid) is not sb:
+            return
+        if not sb.is_expired(self.now):
+            return
+        self.remove_copy(node, sb.bid, reason="expired")
+
+    def _inject_flow(self, flow: Flow) -> None:
+        now = self.engine.now
+        source = self.nodes[flow.source]
+        for seq in range(1, flow.num_bundles + 1):
+            bundle = Bundle(
+                bid=BundleId(flow=flow.flow_id, seq=seq),
+                source=flow.source,
+                destination=flow.destination,
+                created_at=now,
+            )
+            sb = source.add_origin(bundle, now)
+            self.metrics.on_bundle_born(bundle.bid, now)
+            source.protocol.on_bundle_created(sb, now)
+
+    def _all_delivered(self) -> bool:
+        return self._delivered_total >= self._offered
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> RunResult:
+        """Execute the run and return its :class:`RunResult`.
+
+        A simulation object is single-use; running twice raises.
+        """
+        if self._ran:
+            raise RuntimeError("Simulation objects are single-use; build a new one")
+        self._ran = True
+        assert self.trace.horizon is not None
+        horizon = self.trace.horizon
+        for flow in self.flows:
+            if flow.created_at == 0.0:
+                self._inject_flow(flow)
+            else:
+                self.engine.at(flow.created_at, lambda f=flow: self._inject_flow(f))
+        for contact in self.trace:
+            session = ContactSession(self, contact)
+            self.engine.at(contact.start, session.start, tag=f"contact:{contact.pair}")
+        self.engine.run(until=horizon, stop_when=self._all_delivered)
+        end_time = self.engine.now
+        success = self._all_delivered()
+        delay = self.metrics.completion_time(self._offered) if success else None
+        flow0 = self.flows[0]
+        return RunResult(
+            protocol=self.protocol_config.protocol_name,
+            protocol_label=self.protocol_config.label,
+            trace_name=self.trace.name,
+            load=self._offered,
+            seed=self.seed,
+            source=flow0.source,
+            destination=flow0.destination,
+            delivered=self._delivered_total,
+            delivery_ratio=self.metrics.delivery_ratio(self._offered),
+            delay=delay,
+            success=success,
+            buffer_occupancy=self.metrics.mean_buffer_occupancy(end_time),
+            duplication_rate=self.metrics.mean_duplication_rate(end_time),
+            signaling={
+                "anti_packet": self.metrics.signaling.anti_packet,
+                "immunity_table": self.metrics.signaling.immunity_table,
+                "summary_vector": self.metrics.signaling.summary_vector,
+            },
+            transmissions=self.metrics.bundle_transmissions,
+            wasted_slots=self.metrics.wasted_slots,
+            removals={
+                "evicted": self.metrics.removals.evicted,
+                "expired": self.metrics.removals.expired,
+                "immunized": self.metrics.removals.immunized,
+                "ec_aged_out": self.metrics.removals.ec_aged_out,
+            },
+            end_time=end_time,
+        )

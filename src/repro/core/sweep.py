@@ -1,0 +1,134 @@
+"""Replicated load sweeps — the experiment engine behind every figure.
+
+The paper's procedure (Section IV): for each load k ∈ {5, 10, …, 50} run 10
+replications, re-drawing the (source, destination) pair each run, and
+average. Comparisons between protocols use **common random numbers**: the
+endpoint draw for (load, replication) is protocol-independent, so every
+protocol faces the same sequence of workloads — variance reduction the
+paper gets implicitly by replaying the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.protocols.registry import ProtocolConfig
+from repro.core.results import RunResult, SweepResult
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.workload import PAPER_LOADS, PAPER_REPLICATIONS, single_flow
+from repro.des.rng import derive_seed
+from repro.mobility.contact import ContactTrace
+
+#: Builds (or returns a cached) trace for a replication index.
+TraceFactory = Callable[[int], ContactTrace]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Sweep shape.
+
+    Attributes:
+        loads: Load values to sweep (paper: 5..50 step 5).
+        replications: Runs per load (paper: 10).
+        master_seed: Root of every random stream in the sweep.
+        shared_trace: True (paper's trace study): one trace reused by all
+            runs; False: a fresh trace per replication index (the factory
+            receives the replication index).
+    """
+
+    loads: Sequence[int] = PAPER_LOADS
+    replications: int = PAPER_REPLICATIONS
+    master_seed: int = 0
+    shared_trace: bool = True
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if not self.loads:
+            raise ValueError("loads must be non-empty")
+        if any(load < 1 for load in self.loads):
+            raise ValueError("loads must be >= 1")
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+
+
+def constant_trace(trace: ContactTrace) -> TraceFactory:
+    """Trace factory that always returns the same trace (paper's setup)."""
+    return lambda rep: trace
+
+
+def run_single(
+    trace: ContactTrace,
+    protocol: ProtocolConfig,
+    load: int,
+    rep: int,
+    sweep: SweepConfig,
+) -> RunResult:
+    """One run of the sweep grid, with derived, reproducible seeds.
+
+    Endpoint draws depend on (master_seed, load, rep) only — not on the
+    protocol — so all protocols see identical workloads (common random
+    numbers). Protocol-internal randomness (P-Q coins) additionally keys on
+    the protocol name.
+    """
+    endpoint_rng = np.random.default_rng(
+        derive_seed(sweep.master_seed, "workload", load, rep)
+    )
+    flows = single_flow(trace.num_nodes, load, endpoint_rng)
+    run_seed = int(
+        derive_seed(
+            sweep.master_seed, "run", protocol.protocol_name, load, rep
+        ).generate_state(1)[0]
+    )
+    sim = Simulation(
+        trace, protocol, flows, config=sweep.sim, seed=run_seed
+    )
+    return sim.run()
+
+
+def run_sweep(
+    trace_factory: TraceFactory | ContactTrace,
+    protocols: Sequence[ProtocolConfig],
+    sweep: SweepConfig | None = None,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run the full (protocol × load × replication) grid.
+
+    Args:
+        trace_factory: A :class:`ContactTrace` (shared by all runs) or a
+            callable mapping replication index → trace.
+        protocols: Protocol configurations to compare.
+        sweep: Sweep shape; defaults to the paper's.
+        progress: Optional callback receiving one line per (protocol, load).
+
+    Returns:
+        A :class:`SweepResult` with one :class:`RunResult` per grid cell.
+    """
+    sweep = sweep or SweepConfig()
+    if isinstance(trace_factory, ContactTrace):
+        factory = constant_trace(trace_factory)
+    else:
+        factory = trace_factory
+    if not protocols:
+        raise ValueError("at least one protocol is required")
+    result = SweepResult()
+    trace_cache: dict[int, ContactTrace] = {}
+
+    def trace_for(rep: int) -> ContactTrace:
+        key = 0 if sweep.shared_trace else rep
+        if key not in trace_cache:
+            trace_cache[key] = factory(key)
+        return trace_cache[key]
+
+    for protocol in protocols:
+        for load in sweep.loads:
+            for rep in range(sweep.replications):
+                result.runs.append(
+                    run_single(trace_for(rep), protocol, load, rep, sweep)
+                )
+            if progress is not None:
+                progress(f"{protocol.label}: load={load} done")
+    return result

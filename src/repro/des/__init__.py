@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate.
+
+This package provides the minimal, dependency-free machinery every simulation
+in :mod:`repro` is built on:
+
+* :class:`~repro.des.event.Event` — an immutable scheduled occurrence with a
+  stable total order (time, priority, sequence number).
+* :class:`~repro.des.queue.EventQueue` — a binary-heap pending-event set with
+  O(log n) scheduling and lazy cancellation.
+* :class:`~repro.des.engine.Engine` — the event loop: schedule callbacks,
+  advance the clock monotonically, stop on predicate/horizon/exhaustion.
+* :mod:`~repro.des.rng` — reproducible, independently-seeded random streams
+  derived from a single master seed via ``numpy.random.SeedSequence``.
+
+The engine is deliberately small: the DTN simulation in :mod:`repro.core`
+drives almost everything from contact events, so the substrate only needs
+correct ordering, cancellation and determinism — all of which are covered by
+property-based tests in ``tests/des``.
+"""
+
+from repro.des.engine import Engine, StopCondition
+from repro.des.event import Event, EventHandle
+from repro.des.queue import EventQueue
+from repro.des.rng import RngHub, derive_seed, spawn_streams
+
+__all__ = [
+    "Engine",
+    "StopCondition",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "RngHub",
+    "derive_seed",
+    "spawn_streams",
+]

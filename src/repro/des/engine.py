@@ -1,0 +1,161 @@
+"""The discrete-event simulation engine.
+
+An :class:`Engine` owns a clock and an :class:`~repro.des.queue.EventQueue`.
+Client code schedules zero-argument callbacks at absolute times (``at``) or
+relative delays (``after``); :meth:`Engine.run` fires them in order while
+advancing the clock monotonically.
+
+Stop conditions: an explicit time horizon, a predicate evaluated after every
+event, an event budget (runaway protection), or queue exhaustion — whichever
+comes first. The reason the loop ended is reported as a
+:class:`StopCondition`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Callable
+
+from repro.des.event import EventHandle, PRIORITY_NORMAL
+from repro.des.queue import EventQueue
+
+
+class StopCondition(enum.Enum):
+    """Why :meth:`Engine.run` returned."""
+
+    EXHAUSTED = "exhausted"  #: no more events
+    HORIZON = "horizon"  #: next event lies beyond the time horizon
+    PREDICATE = "predicate"  #: user stop-predicate returned True
+    BUDGET = "budget"  #: event budget exceeded
+    HALTED = "halted"  #: client called :meth:`Engine.halt`
+
+
+class Engine:
+    """Sequential discrete-event engine with a monotonic clock."""
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time) or start_time < 0:
+            raise ValueError("start_time must be finite and >= 0")
+        self._now = start_time
+        self._queue = EventQueue()
+        self._halted = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    # -------------------------------------------------------------- scheduling
+
+    def at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        tag: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` at absolute ``time``.
+
+        Raises:
+            ValueError: if ``time`` is in the past (strictly before ``now``).
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        return self._queue.push(time, action, priority=priority, tag=tag)
+
+    def after(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        tag: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` ``delay`` time units from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self._now + delay, action, priority=priority, tag=tag)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a pending event. Returns True if it was still pending."""
+        if handle.cancel():
+            self._queue.notify_cancelled()
+            return True
+        return False
+
+    def halt(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._halted = True
+
+    # -------------------------------------------------------------- run loop
+
+    def run(
+        self,
+        *,
+        until: float = math.inf,
+        stop_when: Callable[[], bool] | None = None,
+        max_events: int | None = None,
+    ) -> StopCondition:
+        """Fire events in order until a stop condition triggers.
+
+        Args:
+            until: Inclusive time horizon; events scheduled strictly after it
+                remain pending and the clock is advanced to ``until`` (when
+                finite) so a subsequent ``run`` resumes correctly.
+            stop_when: Predicate checked after each event.
+            max_events: Maximum number of events to fire in this call.
+
+        Returns:
+            The :class:`StopCondition` that ended the loop.
+        """
+        self._halted = False
+        fired_this_call = 0
+        while True:
+            if self._halted:
+                return StopCondition.HALTED
+            if stop_when is not None and stop_when():
+                return StopCondition.PREDICATE
+            if max_events is not None and fired_this_call >= max_events:
+                return StopCondition.BUDGET
+            nxt = self._queue.peek()
+            if nxt is None:
+                if math.isfinite(until) and until > self._now:
+                    self._now = until
+                return StopCondition.EXHAUSTED
+            if nxt.time > until:
+                if math.isfinite(until) and until > self._now:
+                    self._now = until
+                return StopCondition.HORIZON
+            ev = self._queue.pop()
+            assert ev is not None  # peek() returned a live event
+            self._now = ev.time
+            self._events_fired += 1
+            fired_this_call += 1
+            ev.action()
+
+    def step(self) -> bool:
+        """Fire exactly one event. Returns False if the queue was empty."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        self._now = ev.time
+        self._events_fired += 1
+        ev.action()
+        return True

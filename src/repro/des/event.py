@@ -1,0 +1,80 @@
+"""Event primitives for the discrete-event engine.
+
+Events order by ``(time, priority, seq)``: earlier times first, then lower
+priority values, then insertion order. The sequence number makes the ordering
+*total* and *stable* — two events scheduled for the same instant with the same
+priority fire in the order they were scheduled, which the DTN simulation
+relies on (e.g. a contact-start must be processed before transfers scheduled
+inside the contact at the same timestamp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for events that must run before normal ones at the same instant
+#: (e.g. contact-start control-plane exchange).
+PRIORITY_EARLY = -10
+#: Priority for events that must run after normal ones at the same instant
+#: (e.g. metric finalisation, contact-end bookkeeping).
+PRIORITY_LATE = 10
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled occurrence.
+
+    Attributes:
+        time: Simulation time at which the event fires. Must be finite and
+            non-negative.
+        priority: Tie-break for events at the same time; lower fires first.
+        seq: Monotonic sequence number assigned by the queue; final tie-break.
+        action: Zero-argument callable invoked when the event fires.
+        tag: Optional free-form label used for debugging and test assertions.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], Any]
+    tag: str = ""
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Return the total-order key used by the event queue."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+@dataclass(slots=True)
+class EventHandle:
+    """Cancellation handle returned by :meth:`EventQueue.push`.
+
+    Cancellation is *lazy*: the event stays in the heap but is skipped when
+    popped. ``alive`` is False once the event fired or was cancelled.
+    """
+
+    event: Event
+    cancelled: bool = field(default=False)
+    fired: bool = field(default=False)
+
+    @property
+    def alive(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self.cancelled and not self.fired
+
+    def cancel(self) -> bool:
+        """Cancel the event if still pending.
+
+        Returns:
+            True if this call cancelled the event, False if it had already
+            fired or been cancelled.
+        """
+        if self.alive:
+            self.cancelled = True
+            return True
+        return False

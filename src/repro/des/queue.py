@@ -1,0 +1,120 @@
+"""Pending-event set: a binary heap with stable ordering and lazy deletion.
+
+``heapq`` gives O(log n) push/pop; cancelled events are skipped on pop rather
+than removed eagerly, which keeps cancellation O(1). A compaction pass runs
+automatically when more than half the heap is dead weight, bounding memory to
+O(live events).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from repro.des.event import Event, EventHandle, PRIORITY_NORMAL
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects ordered by (time, priority, seq)."""
+
+    #: Compact the heap when dead entries exceed this fraction of the heap.
+    _COMPACT_RATIO = 0.5
+    #: ... but never bother compacting tiny heaps.
+    _COMPACT_MIN = 64
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], EventHandle]] = []
+        self._seq = 0
+        self._dead = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (pending) events."""
+        return len(self._heap) - self._dead
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next pushed event will receive."""
+        return self._seq
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        tag: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` at ``time`` and return a cancellation handle.
+
+        Raises:
+            ValueError: if ``time`` is negative or not finite.
+        """
+        if not (time >= 0.0):  # also rejects NaN
+            raise ValueError(f"event time must be finite and >= 0, got {time!r}")
+        ev = Event(time=time, priority=priority, seq=self._seq, action=action, tag=tag)
+        self._seq += 1
+        handle = EventHandle(ev)
+        heapq.heappush(self._heap, (ev.sort_key(), handle))
+        return handle
+
+    def peek(self) -> Event | None:
+        """Return the earliest live event without removing it, or None."""
+        self._skim()
+        if not self._heap:
+            return None
+        return self._heap[0][1].event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty.
+
+        The returned event's handle is marked as fired.
+        """
+        self._skim()
+        if not self._heap:
+            return None
+        _, handle = heapq.heappop(self._heap)
+        handle.fired = True
+        return handle.event
+
+    def notify_cancelled(self) -> None:
+        """Record that one pending entry was cancelled (for compaction stats).
+
+        Called by :class:`~repro.des.engine.Engine.cancel`; using handles
+        directly without notification is also fine — the queue still skips
+        cancelled entries, it just compacts less eagerly.
+        """
+        self._dead += 1
+        self._maybe_compact()
+
+    def clear(self) -> None:
+        """Drop all pending events (their handles become cancelled)."""
+        for _, handle in self._heap:
+            if handle.alive:
+                handle.cancelled = True
+        self._heap.clear()
+        self._dead = 0
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield live events in an unspecified order (testing/introspection)."""
+        for _, handle in self._heap:
+            if handle.alive:
+                yield handle.event
+
+    def _skim(self) -> None:
+        """Drop cancelled events sitting at the heap top."""
+        while self._heap and self._heap[0][1].cancelled:
+            heapq.heappop(self._heap)
+            self._dead = max(0, self._dead - 1)
+
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._heap) >= self._COMPACT_MIN
+            and self._dead > len(self._heap) * self._COMPACT_RATIO
+        ):
+            live = [(k, h) for k, h in self._heap if h.alive]
+            heapq.heapify(live)
+            self._heap = live
+            self._dead = 0

@@ -1,0 +1,31 @@
+"""Registered paper experiments.
+
+One entry per figure/table of the evaluation (plus the ablations DESIGN.md
+calls out), each reproducible at two scales:
+
+* ``quick`` — 4 loads × 3 replications (benchmarks, CI);
+* ``paper`` — the paper's full grid, 10 loads × 10 replications;
+* ``smoke`` — 2 loads × 1 replication (unit tests).
+
+Use :class:`~repro.experiments.runner.ExperimentRunner` to execute them;
+sweeps are cached so experiments sharing a protocol family (e.g. Figs 7, 9,
+11, 13 all read the baseline trace sweep) run the simulations once.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    Experiment,
+    get_experiment,
+    iter_experiments,
+)
+from repro.experiments.runner import ExperimentRunner, Scale, SCALES
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "Experiment",
+    "get_experiment",
+    "iter_experiments",
+    "ExperimentRunner",
+    "Scale",
+    "SCALES",
+]

@@ -1,0 +1,155 @@
+"""Experiment execution: mobility inputs, protocol families, sweep cache.
+
+The paper's figures reuse a handful of (mobility × protocol family) sweeps;
+the runner executes each such sweep once per (scale, seed) and hands cached
+:class:`~repro.core.results.SweepResult` objects to the figure builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.protocols.registry import ProtocolConfig, make_protocol_config
+from repro.core.results import SweepResult
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.core.workload import PAPER_LOADS, PAPER_REPLICATIONS
+from repro.mobility.contact import ContactTrace
+from repro.mobility.interval import IntervalScenarioConfig, generate_interval_scenario
+from repro.mobility.rwp import RWPConfig, SubscriberPointRWP
+from repro.mobility.synthetic import CampusTraceGenerator
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sweep grid size."""
+
+    name: str
+    loads: tuple[int, ...]
+    replications: int
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale("smoke", (5, 15), 1),
+    "quick": Scale("quick", (5, 20, 35, 50), 3),
+    "paper": Scale("paper", PAPER_LOADS, PAPER_REPLICATIONS),
+}
+
+# ----------------------------------------------------------- protocol families
+
+#: label constants used across figure definitions (must match config labels)
+PQ_LABEL = "P-Q epidemic (P=1, Q=1)"
+TTL_LABEL = "Epidemic with TTL=300"
+EC_LABEL = "Epidemic with EC"
+IMMUNITY_LABEL = "Epidemic with immunity"
+DYN_TTL_LABEL = "Epidemic with dynamic TTL (x2)"
+EC_TTL_LABEL = "Epidemic with EC+TTL (thr=8)"
+CUMULATIVE_LABEL = "Epidemic with cumulative immunity"
+
+
+def baseline_protocols() -> list[ProtocolConfig]:
+    """The four baselines, parameterised as the paper's figures use them
+    (P=Q=1 best-delay setting, TTL=300 s)."""
+    return [
+        make_protocol_config("pq", p=1.0, q=1.0),
+        make_protocol_config("ttl", ttl=300.0),
+        make_protocol_config("ec"),
+        make_protocol_config("immunity"),
+    ]
+
+
+def enhanced_protocols() -> list[ProtocolConfig]:
+    """Enhancements and their unmodified counterparts (Figs 15-20)."""
+    return [
+        make_protocol_config("ttl", ttl=300.0),
+        make_protocol_config("dynamic_ttl"),
+        make_protocol_config("ec"),
+        make_protocol_config("ec_ttl"),
+        make_protocol_config("immunity"),
+        make_protocol_config("cumulative_immunity"),
+    ]
+
+
+def ttl_family() -> list[ProtocolConfig]:
+    """Constant vs dynamic TTL (the interval-scenario curves)."""
+    return [
+        make_protocol_config("ttl", ttl=300.0),
+        make_protocol_config("dynamic_ttl"),
+    ]
+
+
+class ExperimentRunner:
+    """Executes and caches the sweeps behind every registered experiment."""
+
+    def __init__(
+        self,
+        *,
+        scale: str | Scale = "quick",
+        seed: int = 7,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.scale = scale if isinstance(scale, Scale) else SCALES[scale]
+        self.seed = seed
+        self.progress = progress
+        self._traces: dict[str, ContactTrace] = {}
+        self._sweeps: dict[tuple[str, str], SweepResult] = {}
+
+    # ------------------------------------------------------------- mobility
+
+    def trace(self, kind: str) -> ContactTrace:
+        """The mobility input for ``kind`` (cached).
+
+        Kinds: ``campus``, ``rwp``, ``interval400``, ``interval2000``.
+        """
+        if kind not in self._traces:
+            if kind == "campus":
+                t = CampusTraceGenerator(seed=self.seed).generate()
+            elif kind == "rwp":
+                t = SubscriberPointRWP(RWPConfig(), seed=self.seed).generate()
+            elif kind == "interval400":
+                t = generate_interval_scenario(
+                    IntervalScenarioConfig(max_interval=400.0), seed=self.seed
+                )
+            elif kind == "interval2000":
+                t = generate_interval_scenario(
+                    IntervalScenarioConfig(max_interval=2000.0), seed=self.seed
+                )
+            else:
+                raise KeyError(f"unknown mobility kind {kind!r}")
+            self._traces[kind] = t
+        return self._traces[kind]
+
+    # --------------------------------------------------------------- sweeps
+
+    def sweep(self, family: str) -> SweepResult:
+        """Run (or fetch) a named (mobility × protocol) sweep.
+
+        Families: ``baselines_trace``, ``baselines_rwp``,
+        ``enhanced_trace``, ``enhanced_rwp``, ``ttl_interval400``,
+        ``ttl_interval2000``.
+        """
+        key = (family, self.scale.name)
+        if key in self._sweeps:
+            return self._sweeps[key]
+        if family == "baselines_trace":
+            trace, protos = self.trace("campus"), baseline_protocols()
+        elif family == "baselines_rwp":
+            trace, protos = self.trace("rwp"), baseline_protocols()
+        elif family == "enhanced_trace":
+            trace, protos = self.trace("campus"), enhanced_protocols()
+        elif family == "enhanced_rwp":
+            trace, protos = self.trace("rwp"), enhanced_protocols()
+        elif family == "ttl_interval400":
+            trace, protos = self.trace("interval400"), ttl_family()
+        elif family == "ttl_interval2000":
+            trace, protos = self.trace("interval2000"), ttl_family()
+        else:
+            raise KeyError(f"unknown sweep family {family!r}")
+        cfg = SweepConfig(
+            loads=self.scale.loads,
+            replications=self.scale.replications,
+            master_seed=self.seed,
+        )
+        result = run_sweep(trace, protos, cfg, progress=self.progress)
+        self._sweeps[key] = result
+        return result

@@ -1,0 +1,254 @@
+"""Contact events and contact traces — the common currency of the framework.
+
+A :class:`Contact` is one encounter between two nodes: both are within radio
+range during ``[start, end)``. A :class:`ContactTrace` is a validated,
+time-sorted sequence of contacts over a fixed node population and time
+horizon; every mobility model in :mod:`repro.mobility` produces one and the
+simulation core consumes one.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Contact:
+    """One encounter between two nodes.
+
+    Node ids are normalised so ``a < b``; ordering is by ``(start, end, a, b)``
+    which matches processing order in the simulator.
+
+    Attributes:
+        start: Encounter begin time (inclusive), seconds.
+        end: Encounter end time (exclusive), seconds; must exceed ``start``.
+        a: Lower node id.
+        b: Higher node id.
+    """
+
+    start: float
+    end: float
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"self-contact for node {self.a}")
+        if self.a > self.b:
+            # normalise: dataclass is frozen, so go through object.__setattr__
+            lo, hi = self.b, self.a
+            object.__setattr__(self, "a", lo)
+            object.__setattr__(self, "b", hi)
+        if not (self.end > self.start >= 0.0):
+            raise ValueError(
+                f"contact requires 0 <= start < end, got [{self.start}, {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Encounter duration in seconds."""
+        return self.end - self.start
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """Normalised ``(a, b)`` node pair."""
+        return (self.a, self.b)
+
+    def involves(self, node: int) -> bool:
+        """True if ``node`` participates in this contact."""
+        return node == self.a or node == self.b
+
+    def peer_of(self, node: int) -> int:
+        """Return the other participant.
+
+        Raises:
+            ValueError: if ``node`` is not a participant.
+        """
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"node {node} is not part of contact {self}")
+
+    def overlaps(self, other: "Contact") -> bool:
+        """True if the two contacts' time windows intersect."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class ContactTrace:
+    """A time-sorted contact sequence over ``num_nodes`` nodes.
+
+    Args:
+        contacts: Encounters; sorted on construction.
+        num_nodes: Population size. Node ids must lie in ``[0, num_nodes)``.
+        horizon: End of observation. Defaults to the last contact end. A
+            simulation run that exceeds the horizon is marked *failed* (the
+            paper's rule for its 524,162 s campus trace).
+        name: Optional label used in reports.
+    """
+
+    contacts: list[Contact]
+    num_nodes: int
+    horizon: float | None = None
+    name: str = ""
+    _starts: list[float] = field(init=False, repr=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.num_nodes}")
+        self.contacts = sorted(self.contacts)
+        for c in self.contacts:
+            if not (0 <= c.a < self.num_nodes and 0 <= c.b < self.num_nodes):
+                raise ValueError(
+                    f"contact {c} references nodes outside [0, {self.num_nodes})"
+                )
+        last_end = max((c.end for c in self.contacts), default=0.0)
+        if self.horizon is None:
+            self.horizon = last_end
+        elif self.horizon < last_end:
+            raise ValueError(
+                f"horizon {self.horizon} precedes last contact end {last_end}"
+            )
+        self._starts = [c.start for c in self.contacts]
+
+    # ----------------------------------------------------------- container API
+
+    def __len__(self) -> int:
+        return len(self.contacts)
+
+    def __iter__(self) -> Iterator[Contact]:
+        return iter(self.contacts)
+
+    def __getitem__(self, idx: int) -> Contact:
+        return self.contacts[idx]
+
+    # -------------------------------------------------------------- queries
+
+    def nodes(self) -> list[int]:
+        """All node ids in the population (0..num_nodes-1)."""
+        return list(range(self.num_nodes))
+
+    def active_nodes(self) -> set[int]:
+        """Node ids that appear in at least one contact."""
+        out: set[int] = set()
+        for c in self.contacts:
+            out.add(c.a)
+            out.add(c.b)
+        return out
+
+    def contacts_of(self, node: int) -> list[Contact]:
+        """All contacts involving ``node``, in time order."""
+        return [c for c in self.contacts if c.involves(node)]
+
+    def contacts_between(self, a: int, b: int) -> list[Contact]:
+        """All contacts between the (unordered) pair ``{a, b}``."""
+        lo, hi = min(a, b), max(a, b)
+        return [c for c in self.contacts if c.a == lo and c.b == hi]
+
+    def first_contact_at_or_after(self, t: float) -> Contact | None:
+        """Earliest contact with ``start >= t``, or None."""
+        i = bisect.bisect_left(self._starts, t)
+        return self.contacts[i] if i < len(self.contacts) else None
+
+    def window(self, t0: float, t1: float) -> "ContactTrace":
+        """Contacts fully contained in ``[t0, t1)``, re-based to start at 0."""
+        if not t1 > t0:
+            raise ValueError("window requires t1 > t0")
+        sub = [
+            Contact(c.start - t0, c.end - t0, c.a, c.b)
+            for c in self.contacts
+            if c.start >= t0 and c.end <= t1
+        ]
+        return ContactTrace(
+            sub, self.num_nodes, horizon=t1 - t0, name=f"{self.name}[{t0},{t1})"
+        )
+
+    def total_contact_time(self) -> float:
+        """Sum of all encounter durations."""
+        return sum(c.duration for c in self.contacts)
+
+    # ------------------------------------------------------------- assembly
+
+    @classmethod
+    def from_tuples(
+        cls,
+        rows: Iterable[tuple[float, float, int, int]],
+        num_nodes: int,
+        *,
+        horizon: float | None = None,
+        name: str = "",
+    ) -> "ContactTrace":
+        """Build a trace from ``(start, end, a, b)`` tuples."""
+        return cls(
+            [Contact(start=s, end=e, a=a, b=b) for (s, e, a, b) in rows],
+            num_nodes,
+            horizon=horizon,
+            name=name,
+        )
+
+    def merged_with(self, other: "ContactTrace") -> "ContactTrace":
+        """Union of two traces over the same population."""
+        if other.num_nodes != self.num_nodes:
+            raise ValueError("cannot merge traces with different populations")
+        assert self.horizon is not None and other.horizon is not None
+        return ContactTrace(
+            self.contacts + other.contacts,
+            self.num_nodes,
+            horizon=max(self.horizon, other.horizon),
+            name=self.name or other.name,
+        )
+
+    def coalesced(self) -> "ContactTrace":
+        """Merge overlapping/adjacent contacts of the same pair into one.
+
+        Mobility generators can emit back-to-back encounters for a pair (e.g.
+        a node pausing twice at the same subscriber point); the simulator
+        treats a contact as one uninterrupted exchange opportunity, so
+        adjacent windows are fused.
+        """
+        by_pair: dict[tuple[int, int], list[Contact]] = {}
+        for c in self.contacts:
+            by_pair.setdefault(c.pair, []).append(c)
+        fused: list[Contact] = []
+        for pair, cs in by_pair.items():
+            cs.sort()
+            cur_s, cur_e = cs[0].start, cs[0].end
+            for c in cs[1:]:
+                if c.start <= cur_e:  # overlapping or touching
+                    cur_e = max(cur_e, c.end)
+                else:
+                    fused.append(Contact(cur_s, cur_e, *pair))
+                    cur_s, cur_e = c.start, c.end
+            fused.append(Contact(cur_s, cur_e, *pair))
+        return ContactTrace(fused, self.num_nodes, horizon=self.horizon, name=self.name)
+
+    def validate_disjoint_pairs(self) -> None:
+        """Raise if any node pair has overlapping contact windows."""
+        by_pair: dict[tuple[int, int], list[Contact]] = {}
+        for c in self.contacts:
+            by_pair.setdefault(c.pair, []).append(c)
+        for pair, cs in by_pair.items():
+            cs.sort()
+            for prev, nxt in zip(cs, cs[1:]):
+                if nxt.start < prev.end:
+                    raise ValueError(
+                        f"pair {pair} has overlapping contacts {prev} and {nxt}"
+                    )
+
+
+def pair_key(a: int, b: int) -> tuple[int, int]:
+    """Normalised unordered pair key."""
+    return (a, b) if a < b else (b, a)
+
+
+def all_pairs(num_nodes: int) -> list[tuple[int, int]]:
+    """All unordered node pairs of a population."""
+    return [(i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)]
+
+
+def contacts_sorted(contacts: Sequence[Contact]) -> bool:
+    """True if ``contacts`` is sorted by (start, end, a, b)."""
+    return all(x <= y for x, y in zip(contacts, contacts[1:]))

@@ -1,0 +1,239 @@
+"""On-disk contact trace formats.
+
+Two formats are supported:
+
+1. **Canonical format** (``read_contact_trace`` / ``write_contact_trace``) —
+   the library's own format. Header directives then one contact per line::
+
+       # repro contact trace v1
+       nodes 12
+       horizon 524162
+       # a   b   start     end
+       3     9   3568.0    3882.0
+       ...
+
+2. **CRAWDAD-Haggle-style adapter** (``read_haggle_trace``) — whitespace
+   columns ``id1 id2 start end [count ...]`` with 1-based device ids and no
+   header, matching the published ``cambridge/haggle/imote`` contact listings.
+   Extra columns are ignored, so the genuine dataset drops in unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.mobility.contact import Contact, ContactTrace
+
+_MAGIC = "# repro contact trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+    def __init__(self, message: str, *, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+def _open_text(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    """Return (stream, should_close)."""
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def write_contact_trace(trace: ContactTrace, dest: str | Path | TextIO) -> None:
+    """Write a trace in the canonical format."""
+    stream: TextIO
+    close = False
+    if isinstance(dest, (str, Path)):
+        stream = open(dest, "w", encoding="utf-8")
+        close = True
+    else:
+        stream = dest
+    try:
+        stream.write(_MAGIC + "\n")
+        if trace.name:
+            stream.write(f"# name: {trace.name}\n")
+        stream.write(f"nodes {trace.num_nodes}\n")
+        stream.write(f"horizon {trace.horizon!r}\n")
+        stream.write("# a b start end\n")
+        for c in trace.contacts:
+            stream.write(f"{c.a} {c.b} {c.start!r} {c.end!r}\n")
+    finally:
+        if close:
+            stream.close()
+
+
+def read_contact_trace(source: str | Path | TextIO) -> ContactTrace:
+    """Parse a canonical-format trace.
+
+    Raises:
+        TraceFormatError: on any malformed header or record.
+    """
+    stream, close = _open_text(source)
+    try:
+        num_nodes: int | None = None
+        horizon: float | None = None
+        name = ""
+        contacts: list[Contact] = []
+        first = stream.readline()
+        if first.strip() != _MAGIC:
+            raise TraceFormatError(
+                f"missing magic header {_MAGIC!r} (got {first.strip()!r})", line_no=1
+            )
+        for line_no, raw in enumerate(stream, start=2):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# name:"):
+                    name = line[len("# name:") :].strip()
+                continue
+            fields = line.split()
+            if fields[0] == "nodes":
+                if len(fields) != 2:
+                    raise TraceFormatError("nodes directive takes one value", line_no=line_no)
+                try:
+                    num_nodes = int(fields[1])
+                except ValueError as exc:
+                    raise TraceFormatError(f"bad node count {fields[1]!r}", line_no=line_no) from exc
+                continue
+            if fields[0] == "horizon":
+                if len(fields) != 2:
+                    raise TraceFormatError("horizon directive takes one value", line_no=line_no)
+                try:
+                    horizon = float(fields[1])
+                except ValueError as exc:
+                    raise TraceFormatError(f"bad horizon {fields[1]!r}", line_no=line_no) from exc
+                continue
+            if len(fields) != 4:
+                raise TraceFormatError(
+                    f"expected 'a b start end', got {len(fields)} fields", line_no=line_no
+                )
+            try:
+                a, b = int(fields[0]), int(fields[1])
+                start, end = float(fields[2]), float(fields[3])
+            except ValueError as exc:
+                raise TraceFormatError(f"unparsable record {line!r}", line_no=line_no) from exc
+            try:
+                contacts.append(Contact(start=start, end=end, a=a, b=b))
+            except ValueError as exc:
+                raise TraceFormatError(str(exc), line_no=line_no) from exc
+        if num_nodes is None:
+            raise TraceFormatError("missing 'nodes' directive")
+        try:
+            return ContactTrace(contacts, num_nodes, horizon=horizon, name=name)
+        except ValueError as exc:
+            raise TraceFormatError(str(exc)) from exc
+    finally:
+        if close:
+            stream.close()
+
+
+def read_haggle_trace(
+    source: str | Path | TextIO,
+    *,
+    num_nodes: int | None = None,
+    one_based_ids: bool = True,
+    horizon: float | None = None,
+    name: str = "haggle",
+) -> ContactTrace:
+    """Parse a CRAWDAD-Haggle-style contact listing.
+
+    Each non-comment line is ``id1 id2 start end [extra columns...]``. The
+    published iMote listings use 1-based device ids; pass
+    ``one_based_ids=False`` for 0-based variants.
+
+    Args:
+        num_nodes: Population size; inferred as ``max(id) + 1`` if omitted.
+        horizon: Observation end; defaults to the last contact end.
+
+    Raises:
+        TraceFormatError: on malformed records.
+    """
+    stream, close = _open_text(source)
+    try:
+        rows: list[tuple[int, int, float, float]] = []
+        for line_no, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "%", "//")):
+                continue
+            fields = line.split()
+            if len(fields) < 4:
+                raise TraceFormatError(
+                    f"expected at least 4 columns, got {len(fields)}", line_no=line_no
+                )
+            try:
+                a, b = int(fields[0]), int(fields[1])
+                start, end = float(fields[2]), float(fields[3])
+            except ValueError as exc:
+                raise TraceFormatError(f"unparsable record {line!r}", line_no=line_no) from exc
+            if one_based_ids:
+                a -= 1
+                b -= 1
+            if a < 0 or b < 0:
+                raise TraceFormatError(f"negative node id in {line!r}", line_no=line_no)
+            if end <= start:
+                # Haggle listings occasionally contain zero-length sightings;
+                # they carry no exchange opportunity, so drop them.
+                continue
+            rows.append((a, b, start, end))
+        if not rows:
+            raise TraceFormatError("trace contains no usable contacts")
+        inferred = max(max(a, b) for a, b, _, _ in rows) + 1
+        n = num_nodes if num_nodes is not None else inferred
+        if n < inferred:
+            raise TraceFormatError(
+                f"num_nodes={n} but records reference node {inferred - 1}"
+            )
+        contacts = [Contact(start=s, end=e, a=a, b=b) for a, b, s, e in rows]
+        try:
+            return ContactTrace(contacts, n, horizon=horizon, name=name)
+        except ValueError as exc:
+            raise TraceFormatError(str(exc)) from exc
+    finally:
+        if close:
+            stream.close()
+
+
+def trace_to_string(trace: ContactTrace) -> str:
+    """Serialise a trace to a canonical-format string."""
+    buf = io.StringIO()
+    write_contact_trace(trace, buf)
+    return buf.getvalue()
+
+
+def trace_from_string(text: str) -> ContactTrace:
+    """Parse a canonical-format string."""
+    return read_contact_trace(io.StringIO(text))
+
+
+def write_haggle_trace(
+    trace: ContactTrace, dest: str | Path | TextIO, *, one_based_ids: bool = True
+) -> None:
+    """Write a trace as Haggle-style ``id1 id2 start end`` rows."""
+    stream: TextIO
+    close = False
+    if isinstance(dest, (str, Path)):
+        stream = open(dest, "w", encoding="utf-8")
+        close = True
+    else:
+        stream = dest
+    off = 1 if one_based_ids else 0
+    try:
+        for c in trace.contacts:
+            stream.write(f"{c.a + off} {c.b + off} {c.start!r} {c.end!r}\n")
+    finally:
+        if close:
+            stream.close()
+
+
+def iter_contact_rows(trace: ContactTrace) -> Iterable[tuple[int, int, float, float]]:
+    """Yield ``(a, b, start, end)`` rows (convenience for exporters)."""
+    for c in trace.contacts:
+        yield (c.a, c.b, c.start, c.end)

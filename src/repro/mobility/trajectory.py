@@ -1,0 +1,216 @@
+"""Piecewise-linear trajectories and exact geometric contact extraction.
+
+A node's movement is a :class:`Trajectory`: a sequence of time segments, each
+either a pause (endpoints equal) or a constant-velocity move. Contact
+extraction between two trajectories is *exact*: on every overlapping segment
+pair the squared inter-node distance is a quadratic in time, so the
+below-range window is obtained from the quadratic's roots rather than by
+sampling. This is both faster and free of the missed-short-contact artefacts
+a sampling detector would have.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mobility.contact import Contact, ContactTrace
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """Constant-velocity movement (or pause) during ``[t0, t1]``."""
+
+    t0: float
+    t1: float
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if not (self.t1 > self.t0):
+            raise ValueError(f"segment requires t1 > t0, got [{self.t0}, {self.t1}]")
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def vx(self) -> float:
+        return (self.x1 - self.x0) / (self.t1 - self.t0)
+
+    @property
+    def vy(self) -> float:
+        return (self.y1 - self.y0) / (self.t1 - self.t0)
+
+    @property
+    def speed(self) -> float:
+        return math.hypot(self.x1 - self.x0, self.y1 - self.y0) / (self.t1 - self.t0)
+
+    def position(self, t: float) -> tuple[float, float]:
+        """Position at time ``t`` (must lie within the segment)."""
+        if not (self.t0 <= t <= self.t1):
+            raise ValueError(f"t={t} outside segment [{self.t0}, {self.t1}]")
+        s = (t - self.t0) / (self.t1 - self.t0)
+        return (self.x0 + s * (self.x1 - self.x0), self.y0 + s * (self.y1 - self.y0))
+
+
+class Trajectory:
+    """A node's full movement: contiguous segments covering [start, end]."""
+
+    def __init__(self, node: int, segments: Sequence[Segment]) -> None:
+        if not segments:
+            raise ValueError("trajectory needs at least one segment")
+        for prev, nxt in zip(segments, segments[1:]):
+            if not math.isclose(prev.t1, nxt.t0, rel_tol=0, abs_tol=1e-9):
+                raise ValueError(
+                    f"segments not contiguous: {prev.t1} -> {nxt.t0}"
+                )
+            if not (
+                math.isclose(prev.x1, nxt.x0, abs_tol=1e-6)
+                and math.isclose(prev.y1, nxt.y0, abs_tol=1e-6)
+            ):
+                raise ValueError("segments not spatially contiguous")
+        self.node = node
+        self.segments = list(segments)
+
+    @property
+    def start_time(self) -> float:
+        return self.segments[0].t0
+
+    @property
+    def end_time(self) -> float:
+        return self.segments[-1].t1
+
+    def position(self, t: float) -> tuple[float, float]:
+        """Position at time ``t`` by binary search over segments."""
+        if not (self.start_time <= t <= self.end_time):
+            raise ValueError(f"t={t} outside trajectory span")
+        lo, hi = 0, len(self.segments) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.segments[mid].t1 < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.segments[lo].position(t)
+
+    def max_speed(self) -> float:
+        return max(s.speed for s in self.segments)
+
+
+def _window_below_range(
+    sa: Segment, sb: Segment, t0: float, t1: float, range_sq: float
+) -> tuple[float, float] | None:
+    """Sub-interval of [t0, t1] where |pos_a - pos_b| <= range.
+
+    Both segments must cover [t0, t1]. Returns None if never in range.
+    """
+    ax, ay = sa.position(t0)
+    bx, by = sb.position(t0)
+    dx, dy = ax - bx, ay - by
+    dvx, dvy = sa.vx - sb.vx, sa.vy - sb.vy
+    # |d + dv*s|^2 <= range_sq  for s in [0, t1 - t0]
+    a = dvx * dvx + dvy * dvy
+    b = 2.0 * (dx * dvx + dy * dvy)
+    c = dx * dx + dy * dy - range_sq
+    span = t1 - t0
+    if a < 1e-15:  # no relative motion: distance constant
+        return (t0, t1) if c <= 0.0 else None
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0:
+        return None
+    sqrt_disc = math.sqrt(disc)
+    s_lo = (-b - sqrt_disc) / (2.0 * a)
+    s_hi = (-b + sqrt_disc) / (2.0 * a)
+    lo = max(s_lo, 0.0)
+    hi = min(s_hi, span)
+    if hi <= lo:
+        return None
+    return (t0 + lo, t0 + hi)
+
+
+def _merge_windows(
+    windows: list[tuple[float, float]], *, gap: float = 1e-9
+) -> list[tuple[float, float]]:
+    """Fuse touching/overlapping windows (within ``gap``)."""
+    if not windows:
+        return []
+    windows.sort()
+    merged = [windows[0]]
+    for s, e in windows[1:]:
+        ps, pe = merged[-1]
+        if s <= pe + gap:
+            merged[-1] = (ps, max(pe, e))
+        else:
+            merged.append((s, e))
+    return merged
+
+
+def pair_contact_windows(
+    ta: Trajectory, tb: Trajectory, comm_range: float
+) -> list[tuple[float, float]]:
+    """All maximal time windows in which the two nodes are within range."""
+    if comm_range <= 0:
+        raise ValueError("comm_range must be positive")
+    range_sq = comm_range * comm_range
+    windows: list[tuple[float, float]] = []
+    i = j = 0
+    segs_a, segs_b = ta.segments, tb.segments
+    while i < len(segs_a) and j < len(segs_b):
+        sa, sb = segs_a[i], segs_b[j]
+        t0 = max(sa.t0, sb.t0)
+        t1 = min(sa.t1, sb.t1)
+        if t1 > t0:
+            w = _window_below_range(sa, sb, t0, t1, range_sq)
+            if w is not None:
+                windows.append(w)
+        # advance whichever segment ends first
+        if sa.t1 <= sb.t1:
+            i += 1
+        else:
+            j += 1
+    return _merge_windows(windows)
+
+
+def contacts_from_trajectories(
+    trajectories: Sequence[Trajectory],
+    comm_range: float,
+    *,
+    contact_cap: float | None = 500.0,
+    min_duration: float = 1.0,
+    horizon: float | None = None,
+    name: str = "",
+) -> ContactTrace:
+    """Extract the full contact trace from a set of trajectories.
+
+    Args:
+        comm_range: Radio range in metres.
+        contact_cap: Truncate each encounter to at most this many seconds
+            (the paper caps encounters at 500 s); None disables.
+        min_duration: Discard encounters shorter than this.
+        horizon: Trace horizon; defaults to the latest trajectory end.
+
+    Returns:
+        A validated :class:`ContactTrace` over ``len(trajectories)`` nodes
+        (node ids must be 0..n-1).
+    """
+    n = len(trajectories)
+    ids = sorted(t.node for t in trajectories)
+    if ids != list(range(n)):
+        raise ValueError(f"trajectory node ids must be 0..{n - 1}, got {ids}")
+    by_id = {t.node: t for t in trajectories}
+    contacts: list[Contact] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            for s, e in pair_contact_windows(by_id[i], by_id[j], comm_range):
+                if contact_cap is not None:
+                    e = min(e, s + contact_cap)
+                if e - s >= min_duration:
+                    contacts.append(Contact(start=s, end=e, a=i, b=j))
+    if horizon is None:
+        horizon = max(t.end_time for t in trajectories)
+    horizon = max(horizon, max((c.end for c in contacts), default=0.0))
+    return ContactTrace(contacts, n, horizon=horizon, name=name)

@@ -1,0 +1,74 @@
+"""ASCII rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plot import render_plot, render_series_table
+from repro.core.results import Series, SeriesPoint
+
+
+def _series(label, pairs):
+    return Series(label=label, points=[SeriesPoint(ld, v, 1) for ld, v in pairs])
+
+
+class TestRenderPlot:
+    def test_contains_glyphs_legend_axes(self):
+        out = render_plot(
+            [_series("up", [(5, 0.1), (50, 0.9)]), _series("down", [(5, 0.9), (50, 0.1)])],
+            y_label="ratio",
+        )
+        assert "o up" in out and "x down" in out
+        assert "ratio" in out
+        assert "(Load)" in out
+        assert "o" in out.splitlines()[2]
+
+    def test_skips_nan_points(self):
+        out = render_plot([_series("s", [(5, 1.0), (10, math.nan), (15, 3.0)])])
+        assert "o s" in out
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError, match="no finite"):
+            render_plot([_series("s", [(5, math.nan)])])
+
+    def test_flat_series_renders(self):
+        out = render_plot([_series("flat", [(5, 1.0), (50, 1.0)])])
+        assert "flat" in out
+
+    def test_title_included(self):
+        out = render_plot([_series("s", [(1, 1.0), (2, 2.0)])], title="My Figure")
+        assert out.splitlines()[0] == "My Figure"
+
+    def test_many_series_cycle_glyphs(self):
+        series = [_series(f"s{i}", [(1, float(i)), (2, float(i + 1))]) for i in range(10)]
+        out = render_plot(series)
+        assert "% s5" not in out or True  # glyph cycling must not crash
+
+
+class TestRenderSeriesTable:
+    def test_aligned_values(self):
+        out = render_series_table(
+            [_series("a", [(5, 0.5), (10, 0.25)]), _series("bb", [(5, 1.0), (10, 0.75)])]
+        )
+        lines = out.splitlines()
+        assert "5" in lines[0] and "10" in lines[0]
+        assert lines[2].startswith("a ")
+        assert "0.500" in lines[2]
+
+    def test_nan_rendered_as_dash(self):
+        out = render_series_table([_series("a", [(5, math.nan)])])
+        assert "—" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_series_table([])
+
+    def test_mismatched_grids_raise(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            render_series_table(
+                [_series("a", [(5, 1.0)]), _series("b", [(10, 1.0)])]
+            )
+
+    def test_custom_format(self):
+        out = render_series_table([_series("a", [(5, 123.456)])], value_fmt="{:.0f}")
+        assert "123" in out and "123.5" not in out

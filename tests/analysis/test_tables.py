@@ -1,0 +1,66 @@
+"""Paper tables."""
+
+import pytest
+
+from repro.analysis.tables import TABLE1_ROWS, build_table2, render_table1, render_table2
+from repro.core.results import SweepResult
+from tests.core.test_results import _run
+
+
+class TestTable1:
+    def test_static_rows(self):
+        keys = [k for k, _ in TABLE1_ROWS]
+        assert "Number of Nodes" in keys
+        assert "Buffer Size" in keys
+        assert len(TABLE1_ROWS) == 7
+
+    def test_render(self):
+        out = render_table1()
+        assert "Random Waypoint" in out
+        assert "Table I" in out
+
+
+class TestTable2:
+    def _sweeps(self):
+        rwp = SweepResult()
+        rwp.runs = [_run("ttl", 5, dr=0.25, buf=0.05, dup=0.14),
+                    _run("imm", 5, dr=0.98, buf=0.72, dup=0.49)]
+        trace = SweepResult()
+        trace.runs = [_run("ttl", 5, dr=0.74, buf=0.11, dup=0.66),
+                      _run("imm", 5, dr=0.95, buf=0.58, dup=0.82)]
+        return rwp, trace
+
+    def test_build_rows(self):
+        rwp, trace = self._sweeps()
+        rows = build_table2(rwp, trace)
+        assert [r.protocol_label for r in rows] == ["ttl", "imm"]
+        assert rows[0].delivery_rwp == pytest.approx(0.25)
+        assert rows[0].delivery_trace == pytest.approx(0.74)
+        assert rows[1].duplication_trace == pytest.approx(0.82)
+
+    def test_explicit_protocol_order(self):
+        rwp, trace = self._sweeps()
+        rows = build_table2(rwp, trace, protocols=["imm", "ttl"])
+        assert [r.protocol_label for r in rows] == ["imm", "ttl"]
+
+    def test_missing_protocol_raises(self):
+        rwp, trace = self._sweeps()
+        with pytest.raises(ValueError):
+            build_table2(rwp, trace, protocols=["nope"])
+
+    def test_render_percentages(self):
+        rwp, trace = self._sweeps()
+        out = render_table2(build_table2(rwp, trace))
+        assert "Table II" in out
+        assert "25.0" in out  # delivery rwp of ttl as a percent
+        assert "82.0" in out
+
+    def test_render_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_table2([])
+
+    def test_as_dict(self):
+        rwp, trace = self._sweeps()
+        d = build_table2(rwp, trace)[0].as_dict()
+        assert d["protocol"] == "ttl"
+        assert d["delivery_rwp_pct"] == pytest.approx(25.0)

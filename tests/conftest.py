@@ -1,0 +1,26 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobility.contact import ContactTrace
+from repro.mobility.synthetic import CampusTraceConfig, CampusTraceGenerator
+
+
+@pytest.fixture(scope="session")
+def campus_trace() -> ContactTrace:
+    """One shared campus trace (generation is cheap but not free)."""
+    return CampusTraceGenerator(seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def small_campus_trace() -> ContactTrace:
+    """A shorter, denser campus trace for fast integration tests."""
+    cfg = CampusTraceConfig(
+        horizon=100_000.0,
+        mean_intercontact=2_000.0,
+        pair_activity=0.6,
+        duration_median=150.0,
+    )
+    return CampusTraceGenerator(cfg, seed=3).generate()

@@ -1,0 +1,167 @@
+"""Extension protocols: Binary Spray-and-Wait and PRoPHET."""
+
+import pytest
+
+from repro.core.protocols.base import ControlMessage
+from repro.core.protocols.extensions import ProphetConfig, SprayAndWaitConfig
+from tests.helpers import CHAIN_ROWS, make_node, run_micro, stored
+
+
+class TestSprayConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprayAndWaitConfig(initial_tokens=0)
+
+    def test_label(self):
+        assert "L=6" in SprayAndWaitConfig().label
+
+
+class TestSprayTokens:
+    def test_created_bundle_gets_initial_tokens(self):
+        node, _ = make_node(0, protocol="spray_wait", initial_tokens=8)
+        sb = node.add_origin(stored(1, source=0).bundle, now=0.0)
+        node.protocol.on_bundle_created(sb, now=0.0)
+        assert sb.meta["spray_tokens"] == 8
+
+    def test_binary_split_on_transmit(self):
+        node, _ = make_node(0, protocol="spray_wait", initial_tokens=8)
+        peer, _ = make_node(1)
+        sb = stored(1, source=0, destination=9)
+        sb.meta["spray_tokens"] = 5
+        node.protocol.on_transmitted(sb, peer, now=0.0)
+        assert sb.meta["spray_tokens"] == 3  # ceil(5/2)
+        assert sb.meta["spray_grant"] == 2
+
+    def test_receiver_inherits_grant(self):
+        sender, _ = make_node(0, protocol="spray_wait", initial_tokens=8)
+        receiver, _ = make_node(1, protocol="spray_wait", initial_tokens=8)
+        sb = stored(1, source=0, destination=9)
+        sb.meta["spray_tokens"] = 6
+        sender.protocol.on_transmitted(sb, receiver, now=0.0)
+        got = receiver.protocol.accept(sb.bundle, ec=sb.ec, now=0.0, sender_copy=sb)
+        assert got.meta["spray_tokens"] == 3
+        assert "spray_grant" not in sb.meta  # consumed
+
+    def test_single_token_waits_for_destination(self):
+        node, _ = make_node(0, protocol="spray_wait", initial_tokens=8)
+        relay_peer, _ = make_node(1)
+        dest_peer, _ = make_node(9)
+        sb = stored(1, source=0, destination=9)
+        sb.meta["spray_tokens"] = 1
+        assert not node.protocol.should_offer(sb, relay_peer, now=0.0)
+        assert node.protocol.should_offer(sb, dest_peer, now=0.0)
+
+    def test_delivery_consumes_no_tokens(self):
+        node, _ = make_node(0, protocol="spray_wait", initial_tokens=8)
+        dest_peer, _ = make_node(1)
+        sb = stored(1, source=0, destination=1)
+        sb.meta["spray_tokens"] = 1
+        node.protocol.on_transmitted(sb, dest_peer, now=0.0)
+        assert sb.meta["spray_tokens"] == 1
+
+    def test_end_to_end_copy_bound(self, small_campus_trace):
+        """Total transmissions bounded by L per bundle (plus delivery)."""
+        from repro.core.protocols import make_protocol_config
+        from repro.core.simulation import Simulation
+        from repro.core.workload import Flow
+
+        flows = [Flow(flow_id=0, source=0, destination=5, num_bundles=10)]
+        result = Simulation(
+            small_campus_trace,
+            make_protocol_config("spray_wait", initial_tokens=4),
+            flows,
+            seed=2,
+        ).run()
+        # each bundle spawns at most L-1 relay copies + 1 delivery transfer
+        assert result.transmissions <= 10 * 4
+        assert result.delivery_ratio > 0
+
+
+class TestProphetConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [{"p_init": 0.0}, {"gamma": 1.5}, {"beta": 0.0}, {"age_unit": 0.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ProphetConfig(**kwargs)
+
+
+class TestProphetEstimator:
+    def _node(self):
+        return make_node(0, protocol="prophet")
+
+    def test_encounter_boost(self):
+        node, _ = self._node()
+        peer, _ = make_node(1)
+        node.protocol.on_encounter_started(peer, now=0.0)
+        assert node.protocol.predictability(1) == pytest.approx(0.75)
+        # same-instant second encounter: no ageing in between
+        node.protocol.on_encounter_started(peer, now=0.0)
+        assert node.protocol.predictability(1) == pytest.approx(0.75 + 0.25 * 0.75)
+
+    def test_encounter_boost_with_ageing(self):
+        node, _ = self._node()
+        peer, _ = make_node(1)
+        node.protocol.on_encounter_started(peer, now=0.0)
+        node.protocol.on_encounter_started(peer, now=10.0)
+        aged = 0.75 * 0.98 ** (10.0 / 60.0)
+        assert node.protocol.predictability(1) == pytest.approx(
+            aged + (1 - aged) * 0.75
+        )
+
+    def test_ageing_decays(self):
+        node, _ = self._node()
+        peer, _ = make_node(1)
+        node.protocol.on_encounter_started(peer, now=0.0)
+        node.protocol._age(6_000.0)  # 100 age units at gamma 0.98
+        assert node.protocol.predictability(1) == pytest.approx(
+            0.75 * 0.98**100, rel=1e-6
+        )
+
+    def test_transitivity(self):
+        node, _ = self._node()
+        peer, _ = make_node(1)
+        node.protocol.on_encounter_started(peer, now=0.0)  # P(0,1) = 0.75
+        msg = ControlMessage(sender=1, extras={"prophet_p": {2: 0.8}})
+        node.protocol.receive_control(msg, now=0.0)
+        assert node.protocol.predictability(2) == pytest.approx(0.75 * 0.8 * 0.25)
+
+    def test_forwarding_rule(self):
+        node, _ = self._node()
+        peer, _ = make_node(1)
+        sb = stored(1, source=5, destination=2)
+        # peer reports a higher predictability for the destination
+        node.protocol.receive_control(
+            ControlMessage(sender=1, extras={"prophet_p": {2: 0.9}}), now=0.0
+        )
+        assert node.protocol.should_offer(sb, peer, now=0.0)
+        # now the node itself becomes confident; peer is no better
+        node.protocol._p[2] = 0.95
+        assert not node.protocol.should_offer(sb, peer, now=0.0)
+
+    def test_destination_always_offered(self):
+        node, _ = self._node()
+        dest, _ = make_node(2)
+        sb = stored(1, source=5, destination=2)
+        assert node.protocol.should_offer(sb, dest, now=0.0)
+
+
+class TestProphetEndToEnd:
+    def test_fewer_transmissions_than_flooding(self, small_campus_trace):
+        from repro.core.protocols import make_protocol_config
+        from repro.core.simulation import Simulation
+        from repro.core.workload import Flow
+
+        flows = [Flow(flow_id=0, source=0, destination=5, num_bundles=10)]
+        r_pure = Simulation(
+            small_campus_trace, make_protocol_config("pure"), flows, seed=6
+        ).run()
+        r_prophet = Simulation(
+            small_campus_trace, make_protocol_config("prophet"), flows, seed=6
+        ).run()
+        assert r_prophet.transmissions < r_pure.transmissions
+        assert r_prophet.delivery_ratio > 0
+
+    def test_delivers_on_chain(self):
+        _, result = run_micro("prophet", CHAIN_ROWS + [(3000.0, 3150.0, 0, 3)], 4, load=1)
+        assert result.delivery_ratio == 1.0

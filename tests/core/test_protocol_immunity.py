@@ -1,0 +1,140 @@
+"""Immunity and cumulative-immunity protocols."""
+
+import pytest
+
+from repro.core.bundle import BundleId
+from repro.core.protocols.base import ControlMessage
+from tests.helpers import CHAIN_ROWS, bundle, make_node, run_micro, stored
+
+
+class TestImmunity:
+    def test_destination_builds_ilist(self):
+        node, _ = make_node(3, protocol="immunity")
+        b = bundle(1, source=0, destination=3)
+        node.protocol.on_delivered(b, now=1.0)
+        assert node.protocol.knows_delivered(b.bid)
+
+    def test_ilist_merge_purges_buffer(self):
+        node, sim = make_node(1, protocol="immunity")
+        sb = stored(1, destination=3)
+        node.relay.add(sb)
+        msg = ControlMessage(sender=2, delivered_ids=frozenset({sb.bid}))
+        node.protocol.receive_control(msg, now=5.0)
+        assert node.get_copy(sb.bid) is None
+        assert node.protocol.knows_delivered(sb.bid)
+
+    def test_origin_copies_purged_too(self):
+        node, _ = make_node(0, protocol="immunity")
+        sb = node.add_origin(bundle(1, source=0, destination=3), now=0.0)
+        msg = ControlMessage(sender=2, delivered_ids=frozenset({sb.bid}))
+        node.protocol.receive_control(msg, now=5.0)
+        assert node.get_copy(sb.bid) is None
+
+    def test_control_units_proportional_to_ilist(self):
+        node, _ = make_node(1, protocol="immunity")
+        node.protocol.learn_delivered({BundleId(0, s) for s in range(1, 8)}, now=0.0)
+        msg = node.protocol.control_payload(now=1.0)
+        assert node.protocol.control_units(msg) == 7
+
+    def test_table_storage_grows_with_ilist(self):
+        node, sim = make_node(1, protocol="immunity")
+        node.protocol.learn_delivered({BundleId(0, s) for s in range(1, 11)}, now=0.0)
+        assert sim.control_storage[1] == pytest.approx(1.0)  # 10 x 0.1 slots
+
+    def test_end_to_end_purge_and_block(self):
+        # Two bundles; bundle 2 is held back so the run continues past the
+        # immunity-table exchanges for bundle 1 (the run stops when all
+        # bundles are delivered — the paper's termination rule).
+        rows = [
+            (100.0, 350.0, 0, 1),      # both bundles reach node 1
+            (1_000.0, 1_150.0, 1, 2),  # capacity 1: bundle 1 -> node 2
+            (2_000.0, 2_150.0, 2, 3),  # bundle 1 delivered
+            (3_000.0, 3_150.0, 2, 3),  # table back to 2 -> purge at 2
+            (4_000.0, 4_250.0, 1, 2),  # 2 vaccinates 1 (purge) + bundle 2 moves
+            (5_000.0, 5_150.0, 2, 3),  # bundle 2 delivered: run ends
+        ]
+        sim, result = run_micro("immunity", rows, 4, load=2)
+        assert result.success
+        assert result.removals["immunized"] >= 2
+        assert result.signaling["immunity_table"] > 0
+
+
+class TestCumulativeImmunity:
+    def test_prefix_advances_in_order(self):
+        node, _ = make_node(3, protocol="cumulative_immunity")
+        for seq in (1, 2, 3):
+            node.protocol.on_delivered(bundle(seq, source=0, destination=3), now=1.0)
+        assert node.protocol.tables[0] == 3
+        assert node.protocol.knows_delivered(BundleId(0, 2))
+        assert not node.protocol.knows_delivered(BundleId(0, 4))
+
+    def test_out_of_order_waits_for_gap(self):
+        node, _ = make_node(3, protocol="cumulative_immunity")
+        for seq in (1, 3, 4):
+            node.protocol.on_delivered(bundle(seq, source=0, destination=3), now=1.0)
+        assert node.protocol.tables.get(0, 0) == 1  # blocked at the gap
+        node.protocol.on_delivered(bundle(2, source=0, destination=3), now=2.0)
+        assert node.protocol.tables[0] == 4  # gap filled: jumps to 4
+
+    def test_dominating_table_replaces(self):
+        node, _ = make_node(1, protocol="cumulative_immunity")
+        node.protocol.receive_control(ControlMessage(sender=2, cumulative={0: 30}), now=0.0)
+        node.protocol.receive_control(ControlMessage(sender=4, cumulative={0: 50}), now=1.0)
+        assert node.protocol.tables[0] == 50
+        # a stale table is ignored
+        node.protocol.receive_control(ControlMessage(sender=5, cumulative={0: 10}), now=2.0)
+        assert node.protocol.tables[0] == 50
+
+    def test_one_table_purges_many_bundles(self):
+        node, sim = make_node(1, protocol="cumulative_immunity")
+        for seq in (1, 2, 3, 4):
+            node.relay.add(stored(seq, destination=3))
+        node.relay.add(stored(9, destination=3))
+        node.protocol.receive_control(ControlMessage(sender=2, cumulative={0: 4}), now=5.0)
+        assert len(node.relay) == 1  # only seq 9 survives
+        assert len(sim.removals) == 4
+
+    def test_control_units_one_per_flow(self):
+        node, _ = make_node(1, protocol="cumulative_immunity")
+        node.protocol.receive_control(ControlMessage(sender=2, cumulative={0: 30}), now=0.0)
+        msg = node.protocol.control_payload(now=1.0)
+        assert node.protocol.control_units(msg) == 1
+
+    def test_table_storage_constant_per_flow(self):
+        node, sim = make_node(1, protocol="cumulative_immunity")
+        node.protocol.receive_control(ControlMessage(sender=2, cumulative={0: 5}), now=0.0)
+        node.protocol.receive_control(ControlMessage(sender=2, cumulative={0: 40}), now=1.0)
+        assert sim.control_storage[1] == pytest.approx(0.1)
+
+    def test_multiflow_tables_independent(self):
+        node, _ = make_node(1, protocol="cumulative_immunity")
+        node.protocol.receive_control(
+            ControlMessage(sender=2, cumulative={0: 3, 1: 7}), now=0.0
+        )
+        assert node.protocol.knows_delivered(BundleId(0, 3))
+        assert node.protocol.knows_delivered(BundleId(1, 7))
+        assert not node.protocol.knows_delivered(BundleId(0, 4))
+
+
+class TestSignalingComparison:
+    def test_cumulative_signals_order_of_magnitude_less(self, small_campus_trace):
+        from repro.core.protocols import make_protocol_config
+        from repro.core.simulation import Simulation
+        from repro.core.workload import Flow
+
+        flows = [Flow(flow_id=0, source=0, destination=5, num_bundles=30)]
+        r_imm = Simulation(
+            small_campus_trace, make_protocol_config("immunity"), flows, seed=4
+        ).run()
+        r_cum = Simulation(
+            small_campus_trace,
+            make_protocol_config("cumulative_immunity"),
+            flows,
+            seed=4,
+        ).run()
+        assert r_imm.delivery_ratio == r_cum.delivery_ratio == 1.0
+        assert r_cum.signaling["immunity_table"] > 0
+        assert (
+            r_imm.signaling["immunity_table"]
+            >= 5 * r_cum.signaling["immunity_table"]
+        )

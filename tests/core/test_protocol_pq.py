@@ -1,0 +1,134 @@
+"""P-Q epidemic: transmission coins, optional anti-packets."""
+
+import pytest
+
+from repro.core.protocols.pq import PQAntiPacketEpidemic, PQEpidemic, PQEpidemicConfig
+from tests.helpers import CHAIN_ROWS, bundle, make_node, run_micro, stored
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [{"p": -0.1}, {"p": 1.1}, {"q": 2.0}])
+    def test_probability_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PQEpidemicConfig(**kwargs)
+
+    def test_variant_selection(self):
+        node, sim = make_node(0, protocol="pq")
+        assert isinstance(node.protocol, PQEpidemic)
+        node2, _ = make_node(0, protocol="pq", anti_packets=True)
+        assert isinstance(node2.protocol, PQAntiPacketEpidemic)
+
+    def test_labels_distinguish_variants(self):
+        assert "anti-packets" in PQEpidemicConfig(anti_packets=True).label
+        assert "anti-packets" not in PQEpidemicConfig().label
+
+
+class TestCoins:
+    def test_p_one_always_offers(self):
+        node, _ = make_node(0, protocol="pq", p=1.0, q=1.0)
+        peer, _ = make_node(1)
+        own = stored(1, source=0)
+        assert all(node.protocol.should_offer(own, peer, 0.0) for _ in range(20))
+
+    def test_p_zero_never_offers_own(self):
+        node, _ = make_node(0, protocol="pq", p=0.0, q=1.0)
+        peer, _ = make_node(1)
+        own = stored(1, source=0)
+        relayed = stored(2, source=5)
+        assert not any(node.protocol.should_offer(own, peer, 0.0) for _ in range(20))
+        assert all(node.protocol.should_offer(relayed, peer, 0.0) for _ in range(20))
+
+    def test_q_zero_never_offers_relayed(self):
+        node, _ = make_node(0, protocol="pq", p=1.0, q=0.0)
+        peer, _ = make_node(1)
+        relayed = stored(2, source=5)
+        assert not any(node.protocol.should_offer(relayed, peer, 0.0) for _ in range(20))
+
+    def test_intermediate_probability_mixes(self):
+        node, _ = make_node(0, protocol="pq", p=0.5, q=0.5)
+        peer, _ = make_node(1)
+        results = {node.protocol.should_offer(stored(1, source=0), peer, 0.0) for _ in range(100)}
+        assert results == {True, False}
+
+
+class TestEndToEnd:
+    def test_pq11_equals_pure_epidemic(self, small_campus_trace):
+        """With P=Q=1 and no anti-packets, P-Q is pure epidemic exactly."""
+        from repro.core.simulation import Simulation
+        from repro.core.workload import Flow
+        from repro.core.protocols import make_protocol_config
+
+        flows = [Flow(flow_id=0, source=0, destination=5, num_bundles=10)]
+        r_pq = Simulation(
+            small_campus_trace, make_protocol_config("pq"), flows, seed=3
+        ).run()
+        r_pure = Simulation(
+            small_campus_trace, make_protocol_config("pure"), flows, seed=3
+        ).run()
+        assert r_pq.delivery_ratio == r_pure.delivery_ratio
+        assert r_pq.delay == r_pure.delay
+        assert r_pq.transmissions == r_pure.transmissions
+        assert r_pq.buffer_occupancy == pytest.approx(r_pure.buffer_occupancy)
+
+    def test_p_zero_delivers_nothing(self):
+        _, result = run_micro("pq", CHAIN_ROWS, 4, load=2, protocol_kwargs={"p": 0.0, "q": 0.0})
+        assert result.delivery_ratio == 0.0
+        assert result.delay is None
+        assert not result.success
+
+    def test_plain_pq_never_purges(self):
+        sim, result = run_micro(
+            "pq",
+            CHAIN_ROWS + [(3_000.0, 3_250.0, 0, 3)],
+            4,
+            load=1,
+        )
+        assert result.success
+        assert result.removals["immunized"] == 0
+
+    def test_anti_packet_variant_purges_and_counts(self):
+        # Bundle 2 stays undelivered until after the anti-packet exchanges
+        # for bundle 1, so the run does not end before the purges happen.
+        rows = [
+            (100.0, 350.0, 0, 1),
+            (1_000.0, 1_150.0, 1, 2),
+            (2_000.0, 2_150.0, 2, 3),  # bundle 1 delivered
+            (3_000.0, 3_150.0, 2, 3),  # anti-packet back to 2
+            (4_000.0, 4_250.0, 1, 2),  # 2 vaccinates 1; bundle 2 moves on
+            (5_000.0, 5_150.0, 2, 3),  # bundle 2 delivered
+        ]
+        sim, result = run_micro(
+            "pq", rows, 4, load=2, protocol_kwargs={"anti_packets": True}
+        )
+        assert result.success
+        assert result.removals["immunized"] > 0
+        assert result.signaling["anti_packet"] > 0
+
+
+class TestAntiPacketKnowledge:
+    def test_learn_and_purge(self):
+        node, sim = make_node(1, protocol="pq", anti_packets=True)
+        sb = stored(1, source=0, destination=3)
+        node.relay.add(sb)
+        learned = node.protocol.learn_delivered({sb.bid}, now=5.0)
+        assert learned == 1
+        assert node.get_copy(sb.bid) is None
+        assert sim.removals[0].reason == "immunized"
+        assert node.protocol.knows_delivered(sb.bid)
+        # idempotent
+        assert node.protocol.learn_delivered({sb.bid}, now=6.0) == 0
+
+    def test_destination_generates_anti_packet(self):
+        node, _ = make_node(3, protocol="pq", anti_packets=True)
+        b = bundle(1, source=0, destination=3)
+        node.protocol.on_delivered(b, now=2.0)
+        assert node.protocol.knows_delivered(b.bid)
+        msg = node.protocol.control_payload(now=3.0)
+        assert b.bid in msg.delivered_ids
+        assert node.protocol.control_units(msg) == 1
+
+    def test_table_storage_tracked(self):
+        node, sim = make_node(3, protocol="pq", anti_packets=True)
+        node.protocol.on_delivered(bundle(1, source=0, destination=3), now=2.0)
+        node.protocol.on_delivered(bundle(2, source=0, destination=3), now=3.0)
+        assert sim.control_storage[3] == pytest.approx(0.2)

@@ -1,0 +1,106 @@
+"""Result aggregation."""
+
+import math
+
+import pytest
+
+from repro.core.results import RunResult, Series, SeriesPoint, SweepResult
+
+
+def _run(protocol="p", load=5, delay=100.0, success=True, dr=1.0, buf=0.5, dup=0.3, sig=None):
+    return RunResult(
+        protocol=protocol,
+        protocol_label=protocol,
+        trace_name="t",
+        load=load,
+        seed=0,
+        source=0,
+        destination=1,
+        delivered=int(load * dr),
+        delivery_ratio=dr,
+        delay=delay,
+        success=success,
+        buffer_occupancy=buf,
+        duplication_rate=dup,
+        signaling=sig or {"anti_packet": 0, "immunity_table": 0, "summary_vector": 2},
+        transmissions=10,
+        wasted_slots=0,
+        removals={"evicted": 0, "expired": 0, "immunized": 0, "ec_aged_out": 0},
+        end_time=1_000.0,
+    )
+
+
+class TestRunResult:
+    def test_signaling_overhead_sums_protocol_kinds(self):
+        r = _run(sig={"anti_packet": 3, "immunity_table": 4, "summary_vector": 99})
+        assert r.signaling_overhead == 7
+
+    def test_as_row_serialises_none_delay(self):
+        row = _run(delay=None, success=False).as_row()
+        assert row["delay"] == ""
+        assert row["success"] == 0
+        assert row["signal_anti_packet"] == 0
+
+
+class TestSeriesAggregation:
+    def _sweep(self):
+        s = SweepResult()
+        s.runs = [
+            _run("a", 5, delay=100.0),
+            _run("a", 5, delay=300.0),
+            _run("a", 10, delay=None, success=False, dr=0.5),
+            _run("b", 5, delay=50.0),
+            _run("b", 10, delay=60.0),
+        ]
+        return s
+
+    def test_protocols_in_first_appearance_order(self):
+        assert self._sweep().protocols() == ["a", "b"]
+
+    def test_loads_sorted(self):
+        assert self._sweep().loads() == [5, 10]
+
+    def test_filter(self):
+        s = self._sweep()
+        assert len(s.filter(protocol_label="a")) == 3
+        assert len(s.filter(protocol_label="a", load=5)) == 2
+
+    def test_delay_series_skips_failed_runs(self):
+        series = self._sweep().delay_series()
+        a = next(x for x in series if x.label == "a")
+        assert a.values[0] == 200.0  # mean of 100, 300
+        assert math.isnan(a.values[1])  # no successful run at load 10
+        assert a.points[0].n == 2
+        assert a.points[1].n == 0
+
+    def test_delivery_series_includes_failures(self):
+        series = self._sweep().delivery_ratio_series()
+        a = next(x for x in series if x.label == "a")
+        assert a.values[1] == 0.5
+
+    def test_series_metric_callable(self):
+        series = self._sweep().series(lambda r: float(r.transmissions))
+        assert series[0].values == [10.0, 10.0]
+
+    def test_protocol_means(self):
+        means = self._sweep().protocol_means("a")
+        assert means["delivery_ratio"] == pytest.approx((1 + 1 + 0.5) / 3)
+        assert means["delay"] == pytest.approx(200.0)
+        assert means["runs"] == 3.0
+
+    def test_protocol_means_unknown_label(self):
+        with pytest.raises(ValueError):
+            self._sweep().protocol_means("zzz")
+
+    def test_extend(self):
+        s = self._sweep()
+        s.extend([_run("c", 5)])
+        assert "c" in s.protocols()
+        assert len(s) == 6
+
+
+class TestSeries:
+    def test_loads_values_views(self):
+        s = Series(label="x", points=[SeriesPoint(5, 1.0, 3), SeriesPoint(10, 2.0, 3)])
+        assert s.loads == [5, 10]
+        assert s.values == [1.0, 2.0]

@@ -1,0 +1,120 @@
+"""Contact session semantics: capacity, ordering, priority."""
+
+import pytest
+
+from repro.core.protocols import make_protocol_config
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.workload import Flow
+from tests.helpers import micro_trace
+
+
+def _run(rows, num_nodes, flows, *, protocol="pure", seed=0, config=None, **kw):
+    sim = Simulation(
+        micro_trace(rows, num_nodes),
+        make_protocol_config(protocol, **kw),
+        flows,
+        config=config,
+        seed=seed,
+    )
+    return sim, sim.run()
+
+
+class TestTransferCapacity:
+    def test_floor_of_duration_over_tx_time(self):
+        """The paper's worked example: a 314 s contact carries 3 bundles."""
+        rows = [(3_568.0, 3_882.0, 3, 9)]
+        flows = [Flow(flow_id=0, source=3, destination=9, num_bundles=10)]
+        _, result = _run(rows, 10, flows)
+        assert result.delivered == 3
+
+    def test_sub_tx_time_contact_carries_nothing(self):
+        rows = [(100.0, 199.0, 0, 1)]
+        flows = [Flow(flow_id=0, source=0, destination=1, num_bundles=2)]
+        _, result = _run(rows, 2, flows)
+        assert result.delivered == 0
+
+    def test_custom_tx_time(self):
+        rows = [(100.0, 199.0, 0, 1)]
+        flows = [Flow(flow_id=0, source=0, destination=1, num_bundles=5)]
+        _, result = _run(
+            rows, 2, flows, config=SimulationConfig(bundle_tx_time=30.0)
+        )
+        assert result.delivered == 3
+
+    def test_transfer_timing_is_sequential(self):
+        """k-th bundle arrives k x tx_time after contact start."""
+        rows = [(1_000.0, 1_350.0, 0, 1)]
+        flows = [Flow(flow_id=0, source=0, destination=1, num_bundles=3)]
+        sim, result = _run(rows, 2, flows)
+        times = sorted(sim.metrics.deliveries.values())
+        assert times == [1_100.0, 1_200.0, 1_300.0]
+        assert result.delay == 1_300.0
+
+
+class TestDirectionOrdering:
+    def test_lower_id_sends_first(self):
+        """Both nodes have bundles for each other; capacity 1 favours node 0."""
+        rows = [(100.0, 250.0, 0, 1)]
+        flows = [
+            Flow(flow_id=0, source=0, destination=1, num_bundles=1),
+            Flow(flow_id=1, source=1, destination=0, num_bundles=1),
+        ]
+        sim, result = _run(rows, 2, flows)
+        assert result.delivered == 1
+        dest_of_delivered = list(sim.metrics.deliveries)[0]
+        assert dest_of_delivered.flow == 0  # node 0's flow went through
+
+    def test_higher_id_uses_remaining_budget(self):
+        rows = [(100.0, 350.0, 0, 1)]  # capacity 2
+        flows = [
+            Flow(flow_id=0, source=0, destination=1, num_bundles=1),
+            Flow(flow_id=1, source=1, destination=0, num_bundles=1),
+        ]
+        _, result = _run(rows, 2, flows)
+        assert result.delivered == 2
+
+
+class TestDestinationPriority:
+    def test_destined_bundles_jump_the_queue(self):
+        """A relay holding mixed bundles serves the destination first."""
+        # node 1 first receives flow-1 bundle (dest 3) then flow-0 (dest 2);
+        # when it meets node 2 with capacity 1, flow-0 must go first even
+        # though the flow-1 copy was stored earlier.
+        rows = [
+            (100.0, 250.0, 1, 3),      # nothing to exchange yet
+            (300.0, 450.0, 0, 1),      # flow-1 bundle to node 1 (capacity 1)
+            (500.0, 650.0, 0, 1),      # flow-0 bundle to node 1
+            (1_000.0, 1_150.0, 1, 2),  # capacity 1: deliver flow-0 to node 2
+        ]
+        flows = [
+            Flow(flow_id=1, source=0, destination=3, num_bundles=1),
+            Flow(flow_id=0, source=0, destination=2, num_bundles=1),
+        ]
+        sim, result = _run(rows, 4, flows)
+        delivered_flows = {bid.flow for bid in sim.metrics.deliveries}
+        assert 0 in delivered_flows  # destined bundle won the slot
+
+
+class TestControlPlane:
+    def test_summary_prevents_retransmission(self):
+        """A bundle is never transferred twice to the same node."""
+        rows = [(100.0, 350.0, 0, 1), (1_000.0, 1_250.0, 0, 1)]
+        flows = [Flow(flow_id=0, source=0, destination=2, num_bundles=1)]
+        sim, result = _run(rows, 3, flows)
+        assert sim.metrics.bundle_transmissions == 1  # second contact idle
+
+    def test_summary_vector_signaling_counted(self):
+        rows = [(100.0, 350.0, 0, 1)]
+        flows = [Flow(flow_id=0, source=0, destination=1, num_bundles=1)]
+        sim, _ = _run(rows, 2, flows)
+        assert sim.metrics.signaling.summary_vector == 2  # one each way
+
+
+class TestPQCoinCaching:
+    def test_failed_coin_skips_bundle_for_whole_contact(self):
+        """With q irrelevant and p=0, the source never uses its slots."""
+        rows = [(100.0, 1_100.0, 0, 1)]  # capacity 10
+        flows = [Flow(flow_id=0, source=0, destination=1, num_bundles=3)]
+        sim, result = _run(rows, 2, flows, protocol="pq", p=0.0, q=1.0)
+        assert result.delivered == 0
+        assert sim.metrics.bundle_transmissions == 0

@@ -1,0 +1,160 @@
+"""Simulation driver: lifecycle, termination, metrics wiring."""
+
+import pytest
+
+from repro.core.protocols import make_protocol_config
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.workload import Flow
+from tests.helpers import CHAIN_ROWS, micro_trace, run_micro
+
+
+class TestConfigValidation:
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(buffer_capacity=0)
+
+    def test_rejects_bad_tx_time(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(bundle_tx_time=0.0)
+
+
+class TestConstruction:
+    def test_requires_flows(self):
+        trace = micro_trace(CHAIN_ROWS, 4)
+        with pytest.raises(ValueError, match="flow"):
+            Simulation(trace, make_protocol_config("pure"), [])
+
+    def test_flow_endpoints_validated_against_population(self):
+        trace = micro_trace(CHAIN_ROWS, 4)
+        flows = [Flow(flow_id=0, source=0, destination=9, num_bundles=1)]
+        with pytest.raises(ValueError, match="population"):
+            Simulation(trace, make_protocol_config("pure"), flows)
+
+    def test_single_use(self):
+        trace = micro_trace(CHAIN_ROWS, 4)
+        flows = [Flow(flow_id=0, source=0, destination=3, num_bundles=1)]
+        sim = Simulation(trace, make_protocol_config("pure"), flows)
+        sim.run()
+        with pytest.raises(RuntimeError, match="single-use"):
+            sim.run()
+
+
+class TestTermination:
+    def test_success_stops_at_last_delivery(self):
+        sim, result = run_micro("pure", CHAIN_ROWS, 4, load=1)
+        assert result.success
+        assert result.delay == 2_100.0  # 2000 + one tx_time
+        assert result.end_time == 2_100.0
+
+    def test_failure_runs_to_horizon(self):
+        rows = [(100.0, 350.0, 0, 1)]  # never reaches node 2
+        _, result = run_micro("pure", rows, 3, load=1, horizon=50_000.0)
+        assert not result.success
+        assert result.delay is None
+        assert result.end_time == 50_000.0
+        assert result.delivery_ratio == 0.0
+
+    def test_partial_delivery_counts(self):
+        rows = [(3_568.0, 3_882.0, 0, 1)]  # capacity 3 of 10 bundles
+        _, result = run_micro("pure", rows, 2, destination=1, load=10)
+        assert result.delivered == 3
+        assert result.delivery_ratio == pytest.approx(0.3)
+        assert not result.success
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, small_campus_trace):
+        flows = [Flow(flow_id=0, source=1, destination=7, num_bundles=15)]
+
+        def one(seed):
+            return Simulation(
+                small_campus_trace, make_protocol_config("pq", p=0.5, q=0.5),
+                flows, seed=seed,
+            ).run()
+
+        a, b = one(42), one(42)
+        assert a.delivery_ratio == b.delivery_ratio
+        assert a.delay == b.delay
+        assert a.transmissions == b.transmissions
+        assert a.buffer_occupancy == b.buffer_occupancy
+        assert a.duplication_rate == b.duplication_rate
+
+    def test_different_seed_can_differ(self, small_campus_trace):
+        flows = [Flow(flow_id=0, source=1, destination=7, num_bundles=15)]
+        a = Simulation(
+            small_campus_trace, make_protocol_config("pq", p=0.5, q=0.5), flows, seed=1
+        ).run()
+        b = Simulation(
+            small_campus_trace, make_protocol_config("pq", p=0.5, q=0.5), flows, seed=2
+        ).run()
+        # coins differ; transmissions almost surely differ
+        assert (a.transmissions, a.delay) != (b.transmissions, b.delay)
+
+
+class TestMetricsWiring:
+    def test_buffer_occupancy_exact_on_tiny_scenario(self):
+        """One relayed copy parked at node 1 from t=200 to horizon."""
+        rows = [(100.0, 250.0, 0, 1)]
+        _, result = run_micro("pure", rows, 3, destination=2, load=1, horizon=10_000.0)
+        # copy stored at t=200 (one tx_time after start); 1 slot of 30 total
+        expected = (10_000.0 - 200.0) / 10_000.0 / 30.0
+        assert result.buffer_occupancy == pytest.approx(expected)
+
+    def test_duplication_exact_on_tiny_scenario(self):
+        rows = [(100.0, 250.0, 0, 1)]
+        _, result = run_micro("pure", rows, 3, destination=2, load=1, horizon=10_000.0)
+        # copies/N: 1/3 over [0,200), 2/3 over [200,10000)
+        expected = (1 / 3 * 200.0 + 2 / 3 * 9_800.0) / 10_000.0
+        assert result.duplication_rate == pytest.approx(expected)
+
+    def test_delivery_freezes_duplication_window(self):
+        rows = [(100.0, 250.0, 0, 1)]
+        _, result = run_micro("pure", rows, 2, destination=1, load=1, horizon=10_000.0)
+        # alive window [0, 200): exactly the origin copy -> 1/2
+        assert result.duplication_rate == pytest.approx(0.5)
+
+    def test_flow_created_later_injects_on_time(self):
+        trace = micro_trace([(1_000.0, 1_150.0, 0, 1)], 2, horizon=2_000.0)
+        flows = [
+            Flow(flow_id=0, source=0, destination=1, num_bundles=1, created_at=500.0)
+        ]
+        sim = Simulation(trace, make_protocol_config("pure"), flows)
+        result = sim.run()
+        assert result.success
+        assert result.delay == 1_100.0
+
+    def test_expiry_event_fires_between_contacts(self):
+        """TTL expiry updates metrics at the right instant, not lazily."""
+        rows = [(100.0, 250.0, 0, 1)]
+        _, result = run_micro(
+            "ttl", rows, 3, destination=2, load=1,
+            horizon=10_000.0, protocol_kwargs={"ttl": 300.0},
+        )
+        # relay copy lives [200, 500): 300 seconds of one slot out of 30
+        expected = 300.0 / 10_000.0 / 30.0
+        assert result.buffer_occupancy == pytest.approx(expected)
+        assert result.removals["expired"] == 1
+
+
+class TestRunResultShape:
+    def test_fields_populated(self):
+        _, result = run_micro("immunity", CHAIN_ROWS, 4, load=2)
+        assert result.protocol == "immunity"
+        assert "immunity" in result.protocol_label.lower()
+        assert result.trace_name == "micro"
+        assert result.load == 2
+        assert result.source == 0 and result.destination == 3
+        assert set(result.signaling) == {
+            "anti_packet",
+            "immunity_table",
+            "summary_vector",
+        }
+        assert set(result.removals) == {
+            "evicted",
+            "expired",
+            "immunized",
+            "ec_aged_out",
+        }
+        row = result.as_row()
+        assert row["protocol"] == "immunity"
+        assert row["delivered"] == result.delivered

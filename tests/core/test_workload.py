@@ -1,0 +1,81 @@
+"""Workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import (
+    PAPER_LOADS,
+    PAPER_REPLICATIONS,
+    Flow,
+    draw_endpoints,
+    multi_flow,
+    single_flow,
+    total_offered,
+)
+
+
+class TestFlow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Flow(flow_id=0, source=1, destination=1, num_bundles=5)
+        with pytest.raises(ValueError):
+            Flow(flow_id=0, source=0, destination=1, num_bundles=0)
+        with pytest.raises(ValueError):
+            Flow(flow_id=0, source=0, destination=1, num_bundles=1, created_at=-5.0)
+
+
+class TestPaperConstants:
+    def test_loads_are_5_to_50_step_5(self):
+        assert PAPER_LOADS == tuple(range(5, 55, 5))
+
+    def test_ten_replications(self):
+        assert PAPER_REPLICATIONS == 10
+
+
+class TestEndpoints:
+    def test_distinct(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            s, d = draw_endpoints(12, rng)
+            assert s != d
+            assert 0 <= s < 12 and 0 <= d < 12
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            draw_endpoints(1, np.random.default_rng(0))
+
+    def test_covers_population(self):
+        rng = np.random.default_rng(1)
+        seen = set()
+        for _ in range(300):
+            s, d = draw_endpoints(5, rng)
+            seen.add(s)
+            seen.add(d)
+        assert seen == set(range(5))
+
+
+class TestSingleFlow:
+    def test_shape(self):
+        rng = np.random.default_rng(3)
+        [flow] = single_flow(12, 25, rng)
+        assert flow.num_bundles == 25
+        assert flow.flow_id == 0
+        assert flow.created_at == 0.0
+
+    def test_deterministic_per_rng(self):
+        a = single_flow(12, 5, np.random.default_rng(9))[0]
+        b = single_flow(12, 5, np.random.default_rng(9))[0]
+        assert (a.source, a.destination) == (b.source, b.destination)
+
+
+class TestMultiFlow:
+    def test_staggered_creation(self):
+        rng = np.random.default_rng(5)
+        flows = multi_flow(10, 4, 5, rng, stagger=100.0)
+        assert [f.created_at for f in flows] == [0.0, 100.0, 200.0, 300.0]
+        assert [f.flow_id for f in flows] == [0, 1, 2, 3]
+        assert total_offered(flows) == 20
+
+    def test_requires_flows(self):
+        with pytest.raises(ValueError):
+            multi_flow(10, 0, 5, np.random.default_rng(0))

@@ -1,0 +1,71 @@
+"""Event ordering and handle semantics."""
+
+import pytest
+
+from repro.des.event import (
+    PRIORITY_EARLY,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    Event,
+    EventHandle,
+)
+
+
+def _ev(time=0.0, priority=PRIORITY_NORMAL, seq=0, tag=""):
+    return Event(time=time, priority=priority, seq=seq, action=lambda: None, tag=tag)
+
+
+class TestEventOrdering:
+    def test_orders_by_time_first(self):
+        assert _ev(time=1.0, seq=5) < _ev(time=2.0, seq=0)
+
+    def test_orders_by_priority_at_same_time(self):
+        early = _ev(priority=PRIORITY_EARLY, seq=9)
+        late = _ev(priority=PRIORITY_LATE, seq=0)
+        normal = _ev(priority=PRIORITY_NORMAL, seq=1)
+        assert early < normal < late
+
+    def test_orders_by_seq_as_final_tiebreak(self):
+        assert _ev(seq=0) < _ev(seq=1)
+
+    def test_sort_key_matches_lt(self):
+        a, b = _ev(time=3.0, seq=1), _ev(time=3.0, seq=2)
+        assert (a < b) == (a.sort_key() < b.sort_key())
+
+    def test_sorting_a_list_is_stable_total_order(self):
+        events = [_ev(time=t, priority=p, seq=s) for s, (t, p) in enumerate(
+            [(5.0, 0), (1.0, 10), (1.0, -10), (1.0, 0), (0.0, 0)]
+        )]
+        ordered = sorted(events)
+        keys = [e.sort_key() for e in ordered]
+        assert keys == sorted(keys)
+        assert ordered[0].time == 0.0
+        assert ordered[1].priority == -10
+
+
+class TestEventHandle:
+    def test_alive_initially(self):
+        h = EventHandle(_ev())
+        assert h.alive
+
+    def test_cancel_returns_true_once(self):
+        h = EventHandle(_ev())
+        assert h.cancel() is True
+        assert h.cancel() is False
+        assert not h.alive
+        assert h.cancelled
+
+    def test_cancel_after_fired_is_noop(self):
+        h = EventHandle(_ev())
+        h.fired = True
+        assert h.cancel() is False
+        assert not h.cancelled
+
+
+class TestEventValidation:
+    def test_tag_roundtrip(self):
+        assert _ev(tag="contact:1-2").tag == "contact:1-2"
+
+    @pytest.mark.parametrize("time", [0.0, 1.5, 1e9])
+    def test_times_allowed(self, time):
+        assert _ev(time=time).time == time

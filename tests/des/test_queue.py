@@ -1,0 +1,163 @@
+"""EventQueue: ordering, stability, cancellation, compaction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des.event import PRIORITY_EARLY, PRIORITY_LATE
+from repro.des.queue import EventQueue
+
+
+def _noop():
+    return None
+
+
+class TestPushPop:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        for t in [5.0, 1.0, 3.0]:
+            q.push(t, _noop)
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_same_time_pops_in_insertion_order(self):
+        q = EventQueue()
+        handles = [q.push(2.0, _noop, tag=str(i)) for i in range(5)]
+        tags = [q.pop().tag for _ in range(5)]
+        assert tags == ["0", "1", "2", "3", "4"]
+        assert all(h.fired for h in handles)
+
+    def test_priority_beats_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, _noop, priority=PRIORITY_LATE, tag="late")
+        q.push(1.0, _noop, priority=PRIORITY_EARLY, tag="early")
+        q.push(1.0, _noop, tag="normal")
+        assert [q.pop().tag for _ in range(3)] == ["early", "normal", "late"]
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, _noop, tag="x")
+        assert q.peek().tag == "x"
+        assert len(q) == 1
+        assert q.pop().tag == "x"
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, _noop)
+        assert q and len(q) == 1
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("-inf")])
+    def test_rejects_bad_times(self, bad):
+        with pytest.raises(ValueError):
+            EventQueue().push(bad, _noop)
+
+    def test_seq_monotonic(self):
+        q = EventQueue()
+        s0 = q.next_seq
+        q.push(0.0, _noop)
+        assert q.next_seq == s0 + 1
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped_on_pop(self):
+        q = EventQueue()
+        h = q.push(1.0, _noop, tag="dead")
+        q.push(2.0, _noop, tag="live")
+        h.cancel()
+        q.notify_cancelled()
+        assert q.pop().tag == "live"
+
+    def test_cancelled_event_skipped_on_peek(self):
+        q = EventQueue()
+        h = q.push(1.0, _noop)
+        q.push(2.0, _noop, tag="live")
+        h.cancel()
+        assert q.peek().tag == "live"
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        h.cancel()
+        q.notify_cancelled()
+        assert len(q) == 1
+
+    def test_clear_cancels_everything(self):
+        q = EventQueue()
+        handles = [q.push(float(i), _noop) for i in range(4)]
+        q.clear()
+        assert len(q) == 0
+        assert all(h.cancelled for h in handles)
+        assert q.pop() is None
+
+    def test_iter_pending_skips_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, _noop, tag="dead")
+        q.push(2.0, _noop, tag="live")
+        h.cancel()
+        assert [e.tag for e in q.iter_pending()] == ["live"]
+
+    def test_compaction_keeps_live_events(self):
+        q = EventQueue()
+        live = [q.push(float(1000 + i), _noop, tag=f"live{i}") for i in range(10)]
+        dead = [q.push(float(i), _noop) for i in range(200)]
+        for h in dead:
+            h.cancel()
+            q.notify_cancelled()
+        # compaction has occurred (heap shrunk); all live events still pop
+        assert len(q) == 10
+        tags = [q.pop().tag for _ in range(10)]
+        assert tags == [f"live{i}" for i in range(10)]
+        assert all(h.fired for h in live)
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                st.integers(min_value=-10, max_value=10),
+            ),
+            max_size=200,
+        )
+    )
+    def test_pops_sorted_by_key(self, items):
+        q = EventQueue()
+        for t, p in items:
+            q.push(t, _noop, priority=p)
+        popped = []
+        while q:
+            popped.append(q.pop().sort_key())
+        assert popped == sorted(popped)
+        assert len(popped) == len(items)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                st.booleans(),
+            ),
+            max_size=200,
+        )
+    )
+    def test_cancellation_subset(self, items):
+        q = EventQueue()
+        expected = []
+        for idx, (t, keep) in enumerate(items):
+            h = q.push(t, _noop, tag=str(idx))
+            if keep:
+                expected.append((t, idx))
+            else:
+                h.cancel()
+                q.notify_cancelled()
+        expected.sort()
+        got = []
+        while q:
+            ev = q.pop()
+            got.append((ev.time, int(ev.tag)))
+        assert got == expected

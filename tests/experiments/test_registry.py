@@ -1,0 +1,90 @@
+"""Experiment registry: completeness and buildability."""
+
+import pytest
+
+from repro.analysis.figures import FigureData
+from repro.experiments import EXPERIMENT_IDS, ExperimentRunner, get_experiment, iter_experiments
+
+EXPECTED_IDS = {
+    "table1",
+    "table2",
+    *(f"fig{n:02d}" for n in range(7, 21)),
+}
+
+
+class TestCompleteness:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENT_IDS) == EXPECTED_IDS
+
+    def test_iter_in_id_order(self):
+        ids = [e.exp_id for e in iter_experiments()]
+        assert ids == sorted(ids)
+
+    def test_get_unknown_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_experiment("fig99")
+
+    def test_descriptions_present(self):
+        for exp in iter_experiments():
+            assert exp.title
+            assert exp.description
+            assert exp.kind in ("figure", "table")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="smoke", seed=5)
+
+
+class TestBuildAll:
+    @pytest.mark.parametrize("exp_id", sorted(EXPECTED_IDS))
+    def test_builds_at_smoke_scale(self, runner, exp_id):
+        exp = get_experiment(exp_id)
+        artefact = exp.build(runner)
+        if exp.kind == "figure":
+            assert isinstance(artefact, FigureData)
+            assert artefact.figure_id == exp_id
+            assert artefact.series, f"{exp_id} produced no curves"
+            for s in artefact.series:
+                assert s.points, f"{exp_id}/{s.label} has no points"
+        else:
+            assert isinstance(artefact, str)
+            assert "Table" in artefact
+
+    def test_fig07_plots_three_baselines(self, runner):
+        fig = get_experiment("fig07").build(runner)
+        assert len(fig.series) == 3
+
+    def test_fig08_plots_four_baselines(self, runner):
+        fig = get_experiment("fig08").build(runner)
+        assert len(fig.series) == 4
+
+    def test_fig13_compares_ec_and_ttl(self, runner):
+        fig = get_experiment("fig13").build(runner)
+        assert {s.label for s in fig.series} == {
+            "Epidemic with EC",
+            "Epidemic with TTL=300",
+        }
+
+    def test_fig14_two_interval_curves(self, runner):
+        fig = get_experiment("fig14").build(runner)
+        assert {s.label for s in fig.series} == {
+            "Interval time = 400",
+            "Interval time = 2000",
+        }
+
+    def test_fig15_includes_interval_scenario_curves(self, runner):
+        fig = get_experiment("fig15").build(runner)
+        labels = [s.label for s in fig.series]
+        assert len(labels) == 10  # 6 protocols + 2 TTL-variants x 2 scenarios
+        assert any("interval=400" in label for label in labels)
+        assert any("interval=2000" in label for label in labels)
+
+    def test_fig16_six_protocol_curves(self, runner):
+        fig = get_experiment("fig16").build(runner)
+        assert len(fig.series) == 6
+
+    def test_table2_lists_six_protocols(self, runner):
+        table = get_experiment("table2").build(runner)
+        for fragment in ("TTL=300", "dynamic TTL", "EC", "EC+TTL", "immunity", "cumulative"):
+            assert fragment in table

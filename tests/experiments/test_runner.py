@@ -1,0 +1,78 @@
+"""Experiment runner: scales, mobility caching, sweep families."""
+
+import pytest
+
+from repro.experiments.runner import (
+    SCALES,
+    ExperimentRunner,
+    Scale,
+    baseline_protocols,
+    enhanced_protocols,
+    ttl_family,
+)
+
+
+class TestScales:
+    def test_registered_scales(self):
+        assert set(SCALES) == {"smoke", "quick", "paper"}
+        assert SCALES["paper"].loads == tuple(range(5, 55, 5))
+        assert SCALES["paper"].replications == 10
+        assert SCALES["smoke"].replications == 1
+
+
+class TestProtocolFamilies:
+    def test_baselines_match_paper_parameterisation(self):
+        labels = [p.label for p in baseline_protocols()]
+        assert "P-Q epidemic (P=1, Q=1)" in labels
+        assert "Epidemic with TTL=300" in labels
+        assert len(labels) == 4
+
+    def test_enhanced_pairs(self):
+        labels = [p.label for p in enhanced_protocols()]
+        assert len(labels) == 6
+        assert any("dynamic TTL" in label for label in labels)
+        assert any("cumulative" in label for label in labels)
+
+    def test_ttl_family(self):
+        assert len(ttl_family()) == 2
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(scale="smoke", seed=3)
+
+    def test_scale_by_name_or_object(self):
+        assert ExperimentRunner(scale="smoke").scale.name == "smoke"
+        custom = Scale("tiny", (5,), 1)
+        assert ExperimentRunner(scale=custom).scale is custom
+
+    def test_traces_cached(self, runner):
+        assert runner.trace("campus") is runner.trace("campus")
+        assert runner.trace("rwp") is runner.trace("rwp")
+
+    def test_trace_kinds(self, runner):
+        assert runner.trace("campus").num_nodes == 12
+        assert runner.trace("interval400").num_nodes == 20
+        assert runner.trace("interval2000").num_nodes == 20
+        with pytest.raises(KeyError):
+            runner.trace("mars")
+
+    def test_sweep_cached(self, runner):
+        a = runner.sweep("ttl_interval400")
+        assert runner.sweep("ttl_interval400") is a
+
+    def test_sweep_grid_matches_scale(self, runner):
+        sweep = runner.sweep("ttl_interval400")
+        # 2 protocols x 2 loads x 1 replication
+        assert len(sweep) == 4
+
+    def test_unknown_family(self, runner):
+        with pytest.raises(KeyError, match="family"):
+            runner.sweep("bogus")
+
+    def test_progress_forwarded(self):
+        lines = []
+        r = ExperimentRunner(scale="smoke", seed=1, progress=lines.append)
+        r.sweep("ttl_interval400")
+        assert lines

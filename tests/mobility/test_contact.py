@@ -1,0 +1,147 @@
+"""Contact and ContactTrace semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mobility.contact import Contact, ContactTrace, all_pairs, contacts_sorted, pair_key
+
+
+class TestContact:
+    def test_normalises_node_order(self):
+        c = Contact(start=0.0, end=1.0, a=5, b=2)
+        assert (c.a, c.b) == (2, 5)
+        assert c.pair == (2, 5)
+
+    def test_rejects_self_contact(self):
+        with pytest.raises(ValueError):
+            Contact(start=0.0, end=1.0, a=3, b=3)
+
+    @pytest.mark.parametrize("start,end", [(5.0, 5.0), (5.0, 4.0), (-1.0, 3.0)])
+    def test_rejects_bad_window(self, start, end):
+        with pytest.raises(ValueError):
+            Contact(start=start, end=end, a=0, b=1)
+
+    def test_duration(self):
+        assert Contact(start=10.0, end=35.0, a=0, b=1).duration == 25.0
+
+    def test_involves_and_peer_of(self):
+        c = Contact(start=0.0, end=1.0, a=1, b=4)
+        assert c.involves(1) and c.involves(4) and not c.involves(2)
+        assert c.peer_of(1) == 4
+        assert c.peer_of(4) == 1
+        with pytest.raises(ValueError):
+            c.peer_of(2)
+
+    def test_overlaps(self):
+        a = Contact(start=0.0, end=10.0, a=0, b=1)
+        assert a.overlaps(Contact(start=5.0, end=15.0, a=2, b=3))
+        assert not a.overlaps(Contact(start=10.0, end=15.0, a=2, b=3))
+
+    def test_ordering_by_start(self):
+        early = Contact(start=1.0, end=2.0, a=0, b=1)
+        late = Contact(start=3.0, end=4.0, a=0, b=1)
+        assert early < late
+
+
+class TestContactTrace:
+    def _trace(self):
+        return ContactTrace.from_tuples(
+            [(10.0, 20.0, 0, 1), (5.0, 8.0, 1, 2), (30.0, 45.0, 0, 2)],
+            3,
+        )
+
+    def test_sorted_on_construction(self):
+        t = self._trace()
+        assert contacts_sorted(t.contacts)
+        assert t[0].start == 5.0
+
+    def test_horizon_defaults_to_last_end(self):
+        assert self._trace().horizon == 45.0
+
+    def test_explicit_horizon_validated(self):
+        with pytest.raises(ValueError):
+            ContactTrace.from_tuples([(0.0, 10.0, 0, 1)], 2, horizon=5.0)
+
+    def test_rejects_out_of_range_nodes(self):
+        with pytest.raises(ValueError):
+            ContactTrace.from_tuples([(0.0, 1.0, 0, 5)], 3)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            ContactTrace([], 1)
+
+    def test_container_protocol(self):
+        t = self._trace()
+        assert len(t) == 3
+        assert [c.start for c in t] == [5.0, 10.0, 30.0]
+        assert t[1].start == 10.0
+
+    def test_queries(self):
+        t = self._trace()
+        assert t.nodes() == [0, 1, 2]
+        assert t.active_nodes() == {0, 1, 2}
+        assert [c.start for c in t.contacts_of(0)] == [10.0, 30.0]
+        assert len(t.contacts_between(2, 0)) == 1
+        assert t.first_contact_at_or_after(9.0).start == 10.0
+        assert t.first_contact_at_or_after(100.0) is None
+        assert t.total_contact_time() == 10.0 + 3.0 + 15.0
+
+    def test_window_rebases(self):
+        t = self._trace()
+        w = t.window(5.0, 25.0)
+        assert len(w) == 2
+        assert w[0].start == 0.0
+        assert w.horizon == 20.0
+        with pytest.raises(ValueError):
+            t.window(10.0, 10.0)
+
+    def test_merged_with(self):
+        t = self._trace()
+        other = ContactTrace.from_tuples([(50.0, 60.0, 1, 2)], 3)
+        merged = t.merged_with(other)
+        assert len(merged) == 4
+        assert merged.horizon == 60.0
+        with pytest.raises(ValueError):
+            t.merged_with(ContactTrace.from_tuples([(0.0, 1.0, 0, 1)], 4))
+
+    def test_coalesced_fuses_touching_windows(self):
+        t = ContactTrace.from_tuples(
+            [(0.0, 10.0, 0, 1), (10.0, 20.0, 0, 1), (25.0, 30.0, 0, 1)], 2
+        )
+        fused = t.coalesced()
+        assert len(fused) == 2
+        assert fused[0].end == 20.0
+
+    def test_coalesced_fuses_overlapping_windows(self):
+        t = ContactTrace.from_tuples([(0.0, 10.0, 0, 1), (5.0, 20.0, 0, 1)], 2)
+        assert len(t.coalesced()) == 1
+
+    def test_validate_disjoint_pairs(self):
+        good = self._trace()
+        good.validate_disjoint_pairs()
+        bad = ContactTrace.from_tuples([(0.0, 10.0, 0, 1), (5.0, 20.0, 0, 1)], 2)
+        with pytest.raises(ValueError):
+            bad.validate_disjoint_pairs()
+
+
+class TestHelpers:
+    def test_pair_key(self):
+        assert pair_key(5, 2) == (2, 5) == pair_key(2, 5)
+
+    def test_all_pairs(self):
+        assert all_pairs(3) == [(0, 1), (0, 2), (1, 2)]
+        assert len(all_pairs(12)) == 66
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1e3, allow_nan=False),
+    ), min_size=1, max_size=50))
+    def test_coalesce_idempotent(self, rows):
+        contacts = [(s, s + d, 0, 1) for s, d in rows]
+        trace = ContactTrace.from_tuples(contacts, 2)
+        once = trace.coalesced()
+        twice = once.coalesced()
+        assert [c.pair + (c.start, c.end) for c in once] == [
+            c.pair + (c.start, c.end) for c in twice
+        ]
+        once.validate_disjoint_pairs()

@@ -1,0 +1,87 @@
+"""Controlled inter-encounter-interval scenarios (Fig 14)."""
+
+import pytest
+
+from repro.mobility.interval import IntervalScenarioConfig, generate_interval_scenario
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"max_encounters_per_node": 0},
+            {"min_interval": -1.0},
+            {"min_interval": 500.0, "max_interval": 400.0},
+            {"min_duration": 0.0},
+            {"min_duration": 500.0, "max_duration": 400.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            IntervalScenarioConfig(**kwargs)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_interval_scenario(seed=1)
+
+    def test_paper_defaults(self, trace):
+        assert trace.num_nodes == 20
+
+    def test_encounter_budget_respected(self, trace):
+        counts = {i: 0 for i in range(trace.num_nodes)}
+        for c in trace:
+            counts[c.a] += 1
+            counts[c.b] += 1
+        assert max(counts.values()) <= 20
+
+    def test_total_encounters_budget(self, trace):
+        # each encounter consumes two budget units; 20 nodes x 20 budget
+        assert len(trace) <= 20 * 20 // 2
+
+    def test_node_in_one_contact_at_a_time(self, trace):
+        by_node = {}
+        for c in trace:
+            by_node.setdefault(c.a, []).append(c)
+            by_node.setdefault(c.b, []).append(c)
+        for contacts in by_node.values():
+            contacts.sort()
+            for prev, nxt in zip(contacts, contacts[1:]):
+                assert nxt.start >= prev.end
+
+    def test_min_rest_between_encounters(self, trace):
+        cfg = IntervalScenarioConfig()
+        by_node = {}
+        for c in trace:
+            by_node.setdefault(c.a, []).append(c)
+            by_node.setdefault(c.b, []).append(c)
+        for contacts in by_node.values():
+            contacts.sort()
+            for prev, nxt in zip(contacts, contacts[1:]):
+                assert nxt.start - prev.end >= cfg.min_interval - 1e-9
+
+    def test_durations_within_bounds(self, trace):
+        cfg = IntervalScenarioConfig()
+        for c in trace:
+            assert cfg.min_duration <= c.duration <= cfg.max_duration + 1e-9
+
+    def test_deterministic(self):
+        a = generate_interval_scenario(seed=5)
+        b = generate_interval_scenario(seed=5)
+        assert [(c.start, c.end, c.a, c.b) for c in a] == [
+            (c.start, c.end, c.a, c.b) for c in b
+        ]
+
+    def test_longer_intervals_stretch_the_horizon(self):
+        short = generate_interval_scenario(
+            IntervalScenarioConfig(max_interval=400.0), seed=2
+        )
+        long = generate_interval_scenario(
+            IntervalScenarioConfig(max_interval=2000.0), seed=2
+        )
+        assert long.horizon > short.horizon
+
+    def test_pair_windows_disjoint(self, trace):
+        trace.validate_disjoint_pairs()

@@ -1,0 +1,146 @@
+"""Trace file formats: canonical round trip, error paths, Haggle adapter."""
+
+import io
+
+import pytest
+
+from repro.mobility.contact import ContactTrace
+from repro.mobility.trace_file import (
+    TraceFormatError,
+    read_contact_trace,
+    read_haggle_trace,
+    trace_from_string,
+    trace_to_string,
+    write_contact_trace,
+    write_haggle_trace,
+)
+
+
+@pytest.fixture
+def trace():
+    return ContactTrace.from_tuples(
+        [(3568.0, 3882.0, 3, 9), (10.5, 20.25, 0, 1)],
+        12,
+        horizon=524_162.0,
+        name="unit",
+    )
+
+
+class TestCanonicalRoundTrip:
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_contact_trace(trace, path)
+        back = read_contact_trace(path)
+        assert back.num_nodes == 12
+        assert back.horizon == 524_162.0
+        assert back.name == "unit"
+        assert [(c.start, c.end, c.a, c.b) for c in back] == [
+            (c.start, c.end, c.a, c.b) for c in trace
+        ]
+
+    def test_string_round_trip(self, trace):
+        back = trace_from_string(trace_to_string(trace))
+        assert len(back) == 2
+        assert back[0].start == 10.5  # floats preserved exactly via repr
+
+    def test_stream_io(self, trace):
+        buf = io.StringIO()
+        write_contact_trace(trace, buf)
+        buf.seek(0)
+        assert len(read_contact_trace(buf)) == 2
+
+
+class TestCanonicalErrors:
+    def test_missing_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            trace_from_string("nodes 3\n0 1 0.0 1.0\n")
+
+    def test_missing_nodes_directive(self):
+        with pytest.raises(TraceFormatError, match="nodes"):
+            trace_from_string("# repro contact trace v1\n0 1 0.0 1.0\n")
+
+    def test_bad_node_count(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            trace_from_string("# repro contact trace v1\nnodes three\n")
+
+    def test_bad_horizon(self):
+        with pytest.raises(TraceFormatError, match="horizon"):
+            trace_from_string("# repro contact trace v1\nnodes 3\nhorizon x\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(TraceFormatError, match="4 fields|expected"):
+            trace_from_string("# repro contact trace v1\nnodes 3\n0 1 0.0\n")
+
+    def test_unparsable_record(self):
+        with pytest.raises(TraceFormatError, match="unparsable"):
+            trace_from_string("# repro contact trace v1\nnodes 3\n0 1 zero 1.0\n")
+
+    def test_invalid_contact_window(self):
+        with pytest.raises(TraceFormatError, match="start < end"):
+            trace_from_string("# repro contact trace v1\nnodes 3\n0 1 5.0 5.0\n")
+
+    def test_node_out_of_range(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_string("# repro contact trace v1\nnodes 2\n0 5 0.0 1.0\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# repro contact trace v1\n"
+            "# name: demo\n"
+            "nodes 3\n"
+            "\n"
+            "# a comment\n"
+            "0 1 0.0 1.0\n"
+        )
+        t = trace_from_string(text)
+        assert t.name == "demo"
+        assert len(t) == 1
+
+
+class TestHaggleAdapter:
+    def test_parses_one_based_ids(self):
+        src = io.StringIO("1 2 100.0 250.0\n3 12 400 900 7 extra cols\n")
+        t = read_haggle_trace(src)
+        assert t.num_nodes == 12
+        assert t[0].pair == (0, 1)
+        assert t[1].pair == (2, 11)
+
+    def test_zero_based_option(self):
+        t = read_haggle_trace(io.StringIO("0 1 0 10\n"), one_based_ids=False)
+        assert t[0].pair == (0, 1)
+
+    def test_drops_zero_length_sightings(self):
+        t = read_haggle_trace(io.StringIO("1 2 5 5\n1 2 10 20\n"))
+        assert len(t) == 1
+
+    def test_num_nodes_override_validated(self):
+        with pytest.raises(TraceFormatError, match="num_nodes"):
+            read_haggle_trace(io.StringIO("1 5 0 10\n"), num_nodes=3)
+
+    def test_requires_four_columns(self):
+        with pytest.raises(TraceFormatError, match="4 columns"):
+            read_haggle_trace(io.StringIO("1 2 100\n"))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TraceFormatError, match="unparsable"):
+            read_haggle_trace(io.StringIO("a b c d\n"))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError, match="no usable"):
+            read_haggle_trace(io.StringIO("# only comments\n"))
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(TraceFormatError, match="negative"):
+            read_haggle_trace(io.StringIO("0 2 0 10\n"))  # 1-based: 0 -> -1
+
+    def test_comment_styles_skipped(self):
+        src = io.StringIO("# hash\n% percent\n// slashes\n1 2 0 10\n")
+        assert len(read_haggle_trace(src)) == 1
+
+    def test_write_haggle_round_trip(self, trace, tmp_path):
+        path = tmp_path / "h.dat"
+        write_haggle_trace(trace, path)
+        back = read_haggle_trace(path, num_nodes=12)
+        assert [(c.start, c.end, c.a, c.b) for c in back] == [
+            (c.start, c.end, c.a, c.b) for c in trace
+        ]

@@ -1,0 +1,65 @@
+"""CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig13"])
+        assert args.scale == "quick"
+        assert args.seed == 7
+        assert args.experiments == ["fig13"]
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "campus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "table2" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Random Waypoint" in capsys.readouterr().out
+
+    def test_run_figure_with_exports(self, tmp_path, capsys):
+        code = main(
+            ["run", "fig14", "--scale", "smoke", "--seed", "3", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Interval time = 400" in out
+        csv_file = tmp_path / "fig14.csv"
+        json_file = tmp_path / "fig14.json"
+        assert csv_file.exists()
+        doc = json.loads(json_file.read_text())
+        assert doc["meta"]["experiment"] == "fig14"
+        assert doc["meta"]["scale"] == "smoke"
+
+    def test_run_table_with_export(self, tmp_path, capsys):
+        assert main(["run", "table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_trace_and_stats_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "campus.trace"
+        assert main(["trace", "campus", "--seed", "2", "--out", str(path)]) == 0
+        assert "contacts" in capsys.readouterr().out
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "num_contacts" in out
+        assert "intercontact_pair_median" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99", "--scale", "smoke"])

@@ -1,0 +1,183 @@
+"""Cross-protocol invariants, checked property-based over random scenarios.
+
+These are the safety net of the whole simulator: for random mini-traces,
+workloads and protocols, the physical invariants of the system must hold —
+no buffer over-capacity, no negative copies, delivery bookkeeping
+consistent, determinism in the seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.protocols import make_protocol_config
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.workload import Flow
+from repro.mobility.contact import Contact, ContactTrace
+
+PROTOCOL_STRATEGY = st.sampled_from(
+    [
+        ("pure", {}),
+        ("pq", {"p": 0.5, "q": 0.5}),
+        ("pq", {"p": 1.0, "q": 1.0, "anti_packets": True}),
+        ("ttl", {"ttl": 400.0}),
+        ("dynamic_ttl", {}),
+        ("ec", {}),
+        ("ec_ttl", {"ec_threshold": 2, "min_ec_evict": 1}),
+        ("immunity", {}),
+        ("cumulative_immunity", {}),
+    ]
+)
+
+
+@st.composite
+def random_scenario(draw):
+    """A random mini contact trace plus a workload."""
+    num_nodes = draw(st.integers(3, 6))
+    n_contacts = draw(st.integers(1, 25))
+    contacts = []
+    t = 0.0
+    for _ in range(n_contacts):
+        t += draw(st.floats(10.0, 2_000.0))
+        dur = draw(st.floats(50.0, 450.0))
+        a = draw(st.integers(0, num_nodes - 1))
+        b = draw(st.integers(0, num_nodes - 1).filter(lambda x, a=a: x != a))
+        contacts.append(Contact(start=t, end=t + dur, a=a, b=b))
+        t += dur
+    trace = ContactTrace(contacts, num_nodes, horizon=t + 5_000.0)
+    source = draw(st.integers(0, num_nodes - 1))
+    dest = draw(st.integers(0, num_nodes - 1).filter(lambda x: x != source))
+    load = draw(st.integers(1, 12))
+    capacity = draw(st.integers(1, 6))
+    return trace, source, dest, load, capacity
+
+
+class TestSystemInvariants:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=random_scenario(), proto=PROTOCOL_STRATEGY, seed=st.integers(0, 3))
+    def test_invariants_hold(self, scenario, proto, seed):
+        trace, source, dest, load, capacity = scenario
+        name, kwargs = proto
+        flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+        sim = Simulation(
+            trace,
+            make_protocol_config(name, **kwargs),
+            flows,
+            config=SimulationConfig(buffer_capacity=capacity),
+            seed=seed,
+        )
+        result = sim.run()
+
+        # delivery bookkeeping
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert result.delivered == len(sim.metrics.deliveries)
+        assert result.delivered <= load
+        assert result.success == (result.delivered == load)
+        assert (result.delay is None) == (not result.success)
+        if result.delay is not None:
+            assert 0.0 <= result.delay <= trace.horizon
+
+        # destination state consistent
+        dest_node = sim.nodes[dest]
+        assert set(sim.metrics.deliveries) == set(dest_node.delivered)
+
+        # buffers never exceed capacity; copies non-negative and consistent
+        total_relay = 0
+        for node in sim.nodes:
+            assert len(node.relay) <= capacity
+            total_relay += len(node.relay)
+        for flow in flows:
+            for seq in range(1, flow.num_bundles + 1):
+                from repro.core.bundle import BundleId
+
+                bid = BundleId(flow.flow_id, seq)
+                live = sum(1 for n in sim.nodes if n.get_copy(bid) is not None)
+                expected = live + (1 if bid in dest_node.delivered else 0)
+                assert sim.metrics.copy_count(bid) == expected
+
+        # metric ranges
+        assert 0.0 <= result.buffer_occupancy <= 1.0 + 1e-9
+        assert 0.0 <= result.duplication_rate <= 1.0 + 1e-9
+        assert result.transmissions >= result.delivered
+        assert result.end_time <= trace.horizon + 1e-9
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=random_scenario(), proto=PROTOCOL_STRATEGY)
+    def test_deterministic_in_seed(self, scenario, proto):
+        trace, source, dest, load, capacity = scenario
+        name, kwargs = proto
+        flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+
+        def run():
+            return Simulation(
+                trace,
+                make_protocol_config(name, **kwargs),
+                flows,
+                config=SimulationConfig(buffer_capacity=capacity),
+                seed=17,
+            ).run()
+
+        a, b = run(), run()
+        assert a.delivery_ratio == b.delivery_ratio
+        assert a.delay == b.delay
+        assert a.transmissions == b.transmissions
+        assert a.buffer_occupancy == b.buffer_occupancy
+        assert a.duplication_rate == b.duplication_rate
+        assert a.signaling == b.signaling
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=random_scenario(), seed=st.integers(0, 3))
+    def test_pq11_identical_to_pure(self, scenario, seed):
+        """P-Q with P=Q=1 (no anti-packets) IS pure epidemic."""
+        trace, source, dest, load, capacity = scenario
+        flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+
+        def run(name):
+            return Simulation(
+                trace,
+                make_protocol_config(name),
+                flows,
+                config=SimulationConfig(buffer_capacity=capacity),
+                seed=seed,
+            ).run()
+
+        a, b = run("pq"), run("pure")
+        assert a.delivery_ratio == b.delivery_ratio
+        assert a.delay == b.delay
+        assert a.transmissions == b.transmissions
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=random_scenario(), seed=st.integers(0, 3))
+    def test_immunity_never_hurts_delivery_vs_pure(self, scenario, seed):
+        """Purging only removes *delivered* bundles, so immunity delivers at
+        least as much as pure epidemic on identical inputs."""
+        trace, source, dest, load, capacity = scenario
+        flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+
+        def run(name):
+            return Simulation(
+                trace,
+                make_protocol_config(name),
+                flows,
+                config=SimulationConfig(buffer_capacity=capacity),
+                seed=seed,
+            ).run()
+
+        assert run("immunity").delivery_ratio >= run("pure").delivery_ratio - 1e-12

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Calibration harness for the mobility substrates.
+
+Sweeps candidate generator configurations and prints, per config, the trace
+statistics and the protocol-separation indicators the paper's figures rely
+on (see DESIGN.md §5 "expected shape results"). Used during development to
+pick the defaults in ``repro.mobility.synthetic`` / ``repro.mobility.rwp``;
+kept in-tree so the calibration is reproducible.
+
+Usage: python tools/calibrate.py [campus|rwp]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    CampusTraceConfig,
+    CampusTraceGenerator,
+    RWPConfig,
+    SubscriberPointRWP,
+    SweepConfig,
+    compute_trace_stats,
+    make_protocol_config,
+    run_sweep,
+)
+
+PROTOS = [
+    make_protocol_config("pq", p=1.0, q=1.0),
+    make_protocol_config("ttl", ttl=300.0),
+    make_protocol_config("ec"),
+    make_protocol_config("immunity"),
+    make_protocol_config("dynamic_ttl"),
+    make_protocol_config("ec_ttl"),
+    make_protocol_config("cumulative_immunity"),
+]
+
+
+def evaluate(tag: str, trace) -> None:  # type: ignore[no-untyped-def]
+    st = compute_trace_stats(trace)
+    print(
+        f"--- {tag}: contacts={st.num_contacts} node-gap-med={st.intercontact_node.median:.0f}"
+        f" pair-gap-med={st.intercontact_pair.median:.0f} dur-med={st.durations.median:.0f}"
+    )
+    t0 = time.time()
+    res = run_sweep(
+        trace, PROTOS, SweepConfig(loads=(5, 30, 50), replications=6, master_seed=7)
+    )
+    delay = {s.label: s for s in res.delay_series()}
+    buf = {s.label: s for s in res.buffer_occupancy_series()}
+    dup = {s.label: s for s in res.duplication_series()}
+    for s in res.delivery_ratio_series():
+        print(
+            "  %-36s dr=%s delay=%s buf=%s dup=%s"
+            % (
+                s.label,
+                ["%.2f" % v for v in s.values],
+                ["%7.0f" % v for v in delay[s.label].values],
+                ["%.2f" % v for v in buf[s.label].values],
+                ["%.2f" % v for v in dup[s.label].values],
+            )
+        )
+    print("  (%.1fs)" % (time.time() - t0))
+
+
+def campus() -> None:
+    for mean_ic, sigma, het, dmed in [
+        (24_000, 1.0, 0.2, 100.0),
+        (24_000, 1.0, 0.2, 90.0),
+        (18_000, 1.0, 0.2, 80.0),
+    ]:
+        cfg = CampusTraceConfig(
+            mean_intercontact=mean_ic,
+            intercontact_sigma=sigma,
+            heterogeneity_sigma=het,
+            duration_median=dmed,
+            duration_sigma=0.9,
+            max_duration=2_000.0,
+            min_duration=20.0,
+        )
+        trace = CampusTraceGenerator(cfg, seed=7).generate()
+        evaluate(f"campus ic={mean_ic} s={sigma} het={het} dmed={dmed}", trace)
+
+
+def rwp() -> None:
+    for comm, pts, travel in [
+        (40.0, 80, 900.0),
+        (30.0, 80, 900.0),
+        (40.0, 60, 1_200.0),
+    ]:
+        cfg = RWPConfig(
+            comm_range=comm, num_subscriber_points=pts, max_travel_time=travel
+        )
+        trace = SubscriberPointRWP(cfg, seed=7).generate()
+        evaluate(f"rwp range={comm} pts={pts} travel={travel}", trace)
+
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "campus"
+    {"campus": campus, "rwp": rwp}[which]()
