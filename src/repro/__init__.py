@@ -23,6 +23,30 @@ Quickstart::
     for series in result.delivery_ratio_series():
         print(series.label, series.values)
 
+The declarative entry point — the same experiment as data, runnable from a
+JSON file and parallelisable across worker processes with bit-identical
+results::
+
+    from repro import MobilitySpec, ProtocolSpec, ScenarioSpec, WorkloadSpec
+
+    spec = ScenarioSpec(
+        name="campus-pq-vs-ttl",
+        mobility=MobilitySpec("campus"),
+        protocols=(
+            ProtocolSpec("pq"),
+            ProtocolSpec("ttl", {"ttl": 300.0}),
+        ),
+        workload=WorkloadSpec(loads=(5, 25, 50), replications=3),
+        seed=7,
+    )
+    spec.save("scenario.json")                  # share / version it
+    result = ScenarioSpec.load("scenario.json").run(jobs=4)
+
+``python -m repro run-scenario scenario.json --jobs 4`` runs the same file
+from the shell. New mobility models become first-class scenario inputs via
+:func:`repro.register_mobility`; new protocols via
+:func:`repro.register_protocol`.
+
 See ``examples/`` for runnable scenarios and ``python -m repro`` for the
 experiment CLI.
 """
@@ -32,13 +56,18 @@ from repro.core import (
     PAPER_REPLICATIONS,
     Bundle,
     BundleId,
+    Cell,
+    Executor,
     Flow,
+    ParallelExecutor,
     RunResult,
+    SerialExecutor,
     Series,
     Simulation,
     SimulationConfig,
     SweepConfig,
     SweepResult,
+    make_executor,
     run_single,
     run_sweep,
     single_flow,
@@ -65,8 +94,18 @@ from repro.mobility import (
     read_haggle_trace,
     write_contact_trace,
 )
+from repro.scenarios import (
+    MobilitySpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_mobility,
+    mobility_names,
+    register_mobility,
+    run_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -85,6 +124,21 @@ __all__ = [
     "single_flow",
     "PAPER_LOADS",
     "PAPER_REPLICATIONS",
+    # executors
+    "Cell",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    # scenarios
+    "MobilitySpec",
+    "ProtocolSpec",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "register_mobility",
+    "build_mobility",
+    "mobility_names",
+    "run_scenario",
     # protocols
     "default_baseline_configs",
     "default_enhanced_configs",

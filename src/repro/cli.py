@@ -5,26 +5,35 @@ Subcommands:
 * ``list`` — registered experiments.
 * ``run <exp_id ...>`` — reproduce figures/tables at a chosen scale; prints
   an ASCII plot + value table per figure, optionally exports CSV/JSON.
+* ``run-scenario <file.json>`` — execute a declarative scenario file
+  (see :mod:`repro.scenarios`) and print its metric tables.
 * ``trace <kind>`` — generate a mobility trace file (canonical format).
 * ``stats <file>`` — contact statistics of a trace file.
+
+The global ``--jobs N`` flag (accepted before or after the subcommand)
+fans sweep grids out over N worker processes; results are bit-identical
+to a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 import time
 from pathlib import Path
 
 from repro.analysis.ascii_plot import render_plot, render_series_table
 from repro.analysis.figures import FigureData
-from repro.analysis.io import write_series_csv, write_series_json
+from repro.analysis.io import write_runs_csv, write_series_csv, write_series_json
+from repro.core.executors import make_executor
 from repro.experiments.registry import get_experiment, iter_experiments
 from repro.experiments.runner import SCALES, ExperimentRunner
 from repro.mobility.rwp import ClassicRWP, RWPConfig, SubscriberPointRWP
 from repro.mobility.stats import compute_trace_stats
 from repro.mobility.synthetic import CampusTraceGenerator
 from repro.mobility.trace_file import read_contact_trace, write_contact_trace
+from repro.scenarios import ScenarioSpec
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -34,13 +43,18 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(verbose: bool):
+    if not verbose:
+        return None
+    return lambda msg: print(f"  .. {msg}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(
         scale=args.scale,
         seed=args.seed,
-        progress=(lambda msg: print(f"  .. {msg}", file=sys.stderr))
-        if args.verbose
-        else None,
+        progress=_progress_printer(args.verbose),
+        executor=make_executor(args.jobs),
     )
     exp_ids = args.experiments
     if exp_ids == ["all"]:
@@ -79,6 +93,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: (title, SweepResult aggregation method) pairs printed by run-scenario.
+_SCENARIO_METRICS = (
+    ("Delivery ratio", "delivery_ratio_series"),
+    ("Average delay (s)", "delay_series"),
+    ("Buffer occupancy", "buffer_occupancy_series"),
+    ("Duplication rate", "duplication_series"),
+)
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec.load(args.file)
+    label = spec.name or Path(args.file).stem
+    t0 = time.time()
+    result = spec.run(
+        jobs=args.jobs if args.jobs > 1 else None,
+        progress=_progress_printer(args.verbose),
+    )
+    elapsed = time.time() - t0
+    print(
+        f"==== scenario {label}: {len(result)} runs, "
+        f"{len(spec.protocols)} protocols, jobs={args.jobs} ({elapsed:.1f}s) ===="
+    )
+    tables = [
+        (title, method.removesuffix("_series"), getattr(result, method)())
+        for title, method in _SCENARIO_METRICS
+    ]
+    for title, _, series in tables:
+        print()
+        print(f"-- {title} --")
+        print(render_series_table(series))
+    if args.out is not None:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        # free-form scenario names must not escape out_dir or break paths
+        stem = re.sub(r"[^\w.-]+", "_", label) or "scenario"
+        write_runs_csv(result, out_dir / f"{stem}_runs.csv")
+        for _, metric, series in tables:
+            write_series_json(
+                series,
+                out_dir / f"{stem}_{metric}.json",
+                meta={
+                    "scenario": label,
+                    "metric": metric,
+                    "seed": spec.seed,
+                    "loads": list(spec.workload.loads),
+                    "replications": spec.workload.replications,
+                },
+            )
+        print(f"\nexports written to {out_dir}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.kind == "campus":
         trace = CampusTraceGenerator(seed=args.seed).generate()
@@ -105,18 +171,42 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Unified study of epidemic routing protocols (Feng & Chin, IPDPSW 2012)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep grids (default: 1 = serial)",
+    )
+    # Subparsers re-declare --jobs with SUPPRESS so `repro run x --jobs 2`
+    # works too without clobbering a value given before the subcommand.
+    jobs_opt = argparse.ArgumentParser(add_help=False)
+    jobs_opt.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help=argparse.SUPPRESS,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list registered experiments")
     p_list.set_defaults(func=_cmd_list)
 
-    p_run = sub.add_parser("run", help="reproduce figures/tables")
+    p_run = sub.add_parser("run", help="reproduce figures/tables", parents=[jobs_opt])
     p_run.add_argument(
         "experiments",
         nargs="+",
@@ -129,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", default=None, help="directory for CSV/JSON exports")
     p_run.add_argument("--verbose", action="store_true", help="progress on stderr")
     p_run.set_defaults(func=_cmd_run)
+
+    p_scenario = sub.add_parser(
+        "run-scenario",
+        help="execute a declarative scenario file (JSON)",
+        parents=[jobs_opt],
+    )
+    p_scenario.add_argument("file", help="scenario JSON (see repro.scenarios)")
+    p_scenario.add_argument("--out", default=None, help="directory for CSV/JSON exports")
+    p_scenario.add_argument("--verbose", action="store_true", help="progress on stderr")
+    p_scenario.set_defaults(func=_cmd_run_scenario)
 
     p_trace = sub.add_parser("trace", help="generate a mobility trace file")
     p_trace.add_argument("kind", choices=["campus", "rwp", "classic-rwp"])

@@ -11,10 +11,18 @@ paper's four metrics lives here:
   :mod:`~repro.core.simulation` (the DES driver)
 * measurement: :mod:`~repro.core.metrics` (exact time-weighted integrals),
   :mod:`~repro.core.results`
-* experiment engine: :mod:`~repro.core.workload`, :mod:`~repro.core.sweep`
+* experiment engine: :mod:`~repro.core.workload`, :mod:`~repro.core.sweep`,
+  :mod:`~repro.core.executors` (serial / multi-process sweep backends)
 """
 
 from repro.core.buffer import BufferFullError, RelayStore
+from repro.core.executors import (
+    Cell,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.core.bundle import (
     NO_EXPIRY,
     Bundle,
@@ -27,7 +35,13 @@ from repro.core.node import EncounterHistory, Node
 from repro.core.results import RunResult, Series, SeriesPoint, SweepResult
 from repro.core.session import ContactSession
 from repro.core.simulation import Simulation, SimulationConfig
-from repro.core.sweep import SweepConfig, constant_trace, run_single, run_sweep
+from repro.core.sweep import (
+    SweepConfig,
+    build_cells,
+    constant_trace,
+    run_single,
+    run_sweep,
+)
 from repro.core.workload import (
     PAPER_LOADS,
     PAPER_REPLICATIONS,
@@ -60,7 +74,13 @@ __all__ = [
     "SweepConfig",
     "run_sweep",
     "run_single",
+    "build_cells",
     "constant_trace",
+    "Cell",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "Flow",
     "single_flow",
     "multi_flow",

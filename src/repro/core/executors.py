@@ -1,0 +1,199 @@
+"""Execution backends for sweep grids.
+
+A sweep is a grid of independent cells — every cell derives its random
+streams from ``(master_seed, protocol, load, rep)`` alone (see
+:mod:`repro.des.rng`), so cells can run in any order, in any process, and
+still produce bit-identical :class:`~repro.core.results.RunResult`s. This
+module exploits that: :func:`~repro.core.sweep.run_sweep` hands a list of
+:class:`Cell`s to an executor and gets results back *in submission order*,
+whatever the completion order was.
+
+Backends:
+
+* :class:`SerialExecutor` — in-process loop; the default, zero overhead.
+* :class:`ParallelExecutor` — fans cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`. Traces and protocol
+  configurations are plain (frozen) dataclasses, so cells pickle cleanly.
+
+Both satisfy the :class:`Executor` protocol, so user-defined backends
+(e.g. a cluster dispatcher) drop in via ``run_sweep(..., executor=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Callable, NamedTuple, Protocol as TypingProtocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocols.registry import ProtocolConfig
+    from repro.core.results import RunResult
+    from repro.core.sweep import SweepConfig
+    from repro.mobility.contact import ContactTrace
+
+#: Called after each cell completes: (completed_count, total, finished_cell).
+ProgressHook = Callable[[int, int, "Cell"], None]
+
+
+class Cell(NamedTuple):
+    """One (trace, protocol, load, replication) point of a sweep grid."""
+
+    trace: "ContactTrace"
+    protocol: "ProtocolConfig"
+    load: int
+    rep: int
+    sweep: "SweepConfig"
+
+
+def execute_cell(cell: Cell) -> "RunResult":
+    """Run one grid cell (module-level so process pools can pickle it)."""
+    from repro.core.sweep import run_single
+
+    return run_single(cell.trace, cell.protocol, cell.load, cell.rep, cell.sweep)
+
+
+class _CellRef(NamedTuple):
+    """A cell by table indices — what actually crosses the process boundary.
+
+    A sweep's cells share a handful of traces/protocol configs/sweep
+    configs; shipping those tables once per worker (via the pool
+    initializer) and only these indices per task keeps per-task IPC to a
+    few bytes instead of re-pickling the trace for every cell.
+    """
+
+    trace_idx: int
+    protocol_idx: int
+    load: int
+    rep: int
+    sweep_idx: int
+
+
+#: Per-worker-process object tables, installed by :func:`_init_worker`.
+_WORKER_TABLES: tuple[list, list, list] | None = None
+
+
+def _init_worker(traces: list, protocols: list, sweeps: list) -> None:
+    global _WORKER_TABLES
+    _WORKER_TABLES = (traces, protocols, sweeps)
+
+
+def _execute_ref(ref: _CellRef) -> "RunResult":
+    assert _WORKER_TABLES is not None, "worker pool initializer did not run"
+    traces, protocols, sweeps = _WORKER_TABLES
+    return execute_cell(
+        Cell(
+            traces[ref.trace_idx],
+            protocols[ref.protocol_idx],
+            ref.load,
+            ref.rep,
+            sweeps[ref.sweep_idx],
+        )
+    )
+
+
+def _intern(obj, table: list, index: dict[int, int]) -> int:
+    key = id(obj)
+    if key not in index:
+        index[key] = len(table)
+        table.append(obj)
+    return index[key]
+
+
+class Executor(TypingProtocol):
+    """Structural type of a sweep execution backend.
+
+    ``run`` must return one result per cell, **in cell order** — the order
+    results arrive internally is the backend's business.
+    """
+
+    def run(
+        self, cells: Sequence[Cell], *, progress: ProgressHook | None = None
+    ) -> list["RunResult"]: ...
+
+
+class SerialExecutor:
+    """Run every cell in-process, one after the other (the default)."""
+
+    def run(
+        self, cells: Sequence[Cell], *, progress: ProgressHook | None = None
+    ) -> list["RunResult"]:
+        results: list["RunResult"] = []
+        total = len(cells)
+        for i, cell in enumerate(cells):
+            results.append(execute_cell(cell))
+            if progress is not None:
+                progress(i + 1, total, cell)
+        return results
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan cells out across worker processes.
+
+    Results are bit-identical to :class:`SerialExecutor` because every
+    cell's randomness is derived from the cell's own coordinates, never
+    from execution order or shared state.
+
+    Args:
+        jobs: Worker processes. Defaults to the machine's CPU count.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def run(
+        self, cells: Sequence[Cell], *, progress: ProgressHook | None = None
+    ) -> list["RunResult"]:
+        total = len(cells)
+        if total == 0:
+            return []
+        workers = min(self.jobs, total)
+        if workers == 1:
+            return SerialExecutor().run(cells, progress=progress)
+        traces: list = []
+        protocols: list = []
+        sweeps: list = []
+        t_idx: dict[int, int] = {}
+        p_idx: dict[int, int] = {}
+        s_idx: dict[int, int] = {}
+        refs = [
+            _CellRef(
+                _intern(c.trace, traces, t_idx),
+                _intern(c.protocol, protocols, p_idx),
+                c.load,
+                c.rep,
+                _intern(c.sweep, sweeps, s_idx),
+            )
+            for c in cells
+        ]
+        results: list["RunResult" | None] = [None] * total
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(traces, protocols, sweeps),
+        ) as pool:
+            futures = {pool.submit(_execute_ref, ref): i for i, ref in enumerate(refs)}
+            done = 0
+            for fut in as_completed(futures):
+                i = futures[fut]
+                results[i] = fut.result()
+                done += 1
+                if progress is not None:
+                    progress(done, total, cells[i])
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def make_executor(jobs: int | None) -> Executor:
+    """Executor for a ``--jobs`` value: serial for None/1, parallel above."""
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)

@@ -204,7 +204,11 @@ class Simulation:
         if self._ran:
             raise RuntimeError("Simulation objects are single-use; build a new one")
         self._ran = True
-        assert self.trace.horizon is not None
+        if self.trace.horizon is None:
+            raise ValueError(
+                "trace has no horizon; ContactTrace normally derives one from "
+                "the last contact end — pass horizon= explicitly for this trace"
+            )
         horizon = self.trace.horizon
         for flow in self.flows:
             if flow.created_at == 0.0:

@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.executors import Cell, Executor, SerialExecutor
 from repro.core.protocols.registry import ProtocolConfig
 from repro.core.results import RunResult, SweepResult
 from repro.core.simulation import Simulation, SimulationConfig
@@ -88,11 +89,42 @@ def run_single(
     return sim.run()
 
 
+def build_cells(
+    trace_factory: TraceFactory | ContactTrace,
+    protocols: Sequence[ProtocolConfig],
+    sweep: SweepConfig,
+) -> list[Cell]:
+    """Materialise the (protocol × load × replication) grid as cells.
+
+    Traces are built up front (once if shared, once per replication index
+    otherwise) so cells are self-contained and can ship to worker processes.
+    """
+    if isinstance(trace_factory, ContactTrace):
+        factory = constant_trace(trace_factory)
+    else:
+        factory = trace_factory
+    trace_cache: dict[int, ContactTrace] = {}
+
+    def trace_for(rep: int) -> ContactTrace:
+        key = 0 if sweep.shared_trace else rep
+        if key not in trace_cache:
+            trace_cache[key] = factory(key)
+        return trace_cache[key]
+
+    return [
+        Cell(trace_for(rep), protocol, load, rep, sweep)
+        for protocol in protocols
+        for load in sweep.loads
+        for rep in range(sweep.replications)
+    ]
+
+
 def run_sweep(
     trace_factory: TraceFactory | ContactTrace,
     protocols: Sequence[ProtocolConfig],
     sweep: SweepConfig | None = None,
     *,
+    executor: Executor | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
     """Run the full (protocol × load × replication) grid.
@@ -102,33 +134,35 @@ def run_sweep(
             callable mapping replication index → trace.
         protocols: Protocol configurations to compare.
         sweep: Sweep shape; defaults to the paper's.
-        progress: Optional callback receiving one line per (protocol, load).
+        executor: Execution backend; defaults to
+            :class:`~repro.core.executors.SerialExecutor`. Pass a
+            :class:`~repro.core.executors.ParallelExecutor` to fan the grid
+            out over worker processes — results are bit-identical because
+            every cell's randomness derives from its own coordinates.
+        progress: Optional callback receiving one ``[done/total]`` line per
+            completed (protocol, load, replication) cell. With a parallel
+            executor, lines arrive in completion order.
 
     Returns:
-        A :class:`SweepResult` with one :class:`RunResult` per grid cell.
+        A :class:`SweepResult` with one :class:`RunResult` per grid cell,
+        in (protocol, load, replication) order regardless of backend.
     """
     sweep = sweep or SweepConfig()
-    if isinstance(trace_factory, ContactTrace):
-        factory = constant_trace(trace_factory)
-    else:
-        factory = trace_factory
     if not protocols:
         raise ValueError("at least one protocol is required")
+    cells = build_cells(trace_factory, protocols, sweep)
+
+    hook = None
+    if progress is not None:
+        report = progress
+
+        def hook(done: int, total: int, cell: Cell) -> None:
+            report(
+                f"[{done}/{total}] {cell.protocol.label}: "
+                f"load={cell.load} rep={cell.rep} done"
+            )
+
+    backend = executor or SerialExecutor()
     result = SweepResult()
-    trace_cache: dict[int, ContactTrace] = {}
-
-    def trace_for(rep: int) -> ContactTrace:
-        key = 0 if sweep.shared_trace else rep
-        if key not in trace_cache:
-            trace_cache[key] = factory(key)
-        return trace_cache[key]
-
-    for protocol in protocols:
-        for load in sweep.loads:
-            for rep in range(sweep.replications):
-                result.runs.append(
-                    run_single(trace_for(rep), protocol, load, rep, sweep)
-                )
-            if progress is not None:
-                progress(f"{protocol.label}: load={load} done")
+    result.runs.extend(backend.run(cells, progress=hook))
     return result

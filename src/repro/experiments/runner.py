@@ -1,8 +1,16 @@
-"""Experiment execution: mobility inputs, protocol families, sweep cache.
+"""Experiment execution: scenario tables, mobility cache, sweep cache.
 
-The paper's figures reuse a handful of (mobility × protocol family) sweeps;
-the runner executes each such sweep once per (scale, seed) and hands cached
+The paper's figures reuse a handful of (mobility × protocol family) sweeps.
+Each is described *declaratively*: :data:`MOBILITY_PRESETS` names the
+mobility inputs, :data:`PROTOCOL_FAMILIES` the protocol sets, and
+:data:`SWEEP_FAMILIES` pairs them. The runner materialises a
+:class:`~repro.scenarios.ScenarioSpec` per family, executes it once per
+(scale, seed) on its execution backend, and hands cached
 :class:`~repro.core.results.SweepResult` objects to the figure builders.
+
+Adding a new study is data, not code: register a mobility kind
+(:func:`repro.scenarios.register_mobility`) if needed, then add entries to
+the tables below — no ``if``/``elif`` chain to extend.
 """
 
 from __future__ import annotations
@@ -10,14 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.protocols.registry import ProtocolConfig, make_protocol_config
+from repro.core.executors import Executor
+from repro.core.protocols.registry import ProtocolConfig
 from repro.core.results import SweepResult
-from repro.core.sweep import SweepConfig, run_sweep
+from repro.core.sweep import run_sweep
 from repro.core.workload import PAPER_LOADS, PAPER_REPLICATIONS
 from repro.mobility.contact import ContactTrace
-from repro.mobility.interval import IntervalScenarioConfig, generate_interval_scenario
-from repro.mobility.rwp import RWPConfig, SubscriberPointRWP
-from repro.mobility.synthetic import CampusTraceGenerator
+from repro.scenarios import MobilitySpec, ProtocolSpec, ScenarioSpec, WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -46,36 +53,65 @@ DYN_TTL_LABEL = "Epidemic with dynamic TTL (x2)"
 EC_TTL_LABEL = "Epidemic with EC+TTL (thr=8)"
 CUMULATIVE_LABEL = "Epidemic with cumulative immunity"
 
+#: Protocol families, as declarative specs (paper parameterisation).
+PROTOCOL_FAMILIES: dict[str, tuple[ProtocolSpec, ...]] = {
+    "baselines": (
+        ProtocolSpec("pq", {"p": 1.0, "q": 1.0}),
+        ProtocolSpec("ttl", {"ttl": 300.0}),
+        ProtocolSpec("ec"),
+        ProtocolSpec("immunity"),
+    ),
+    "enhanced": (
+        ProtocolSpec("ttl", {"ttl": 300.0}),
+        ProtocolSpec("dynamic_ttl"),
+        ProtocolSpec("ec"),
+        ProtocolSpec("ec_ttl"),
+        ProtocolSpec("immunity"),
+        ProtocolSpec("cumulative_immunity"),
+    ),
+    "ttl": (
+        ProtocolSpec("ttl", {"ttl": 300.0}),
+        ProtocolSpec("dynamic_ttl"),
+    ),
+}
+
+#: Named mobility inputs the paper's figures draw on.
+MOBILITY_PRESETS: dict[str, MobilitySpec] = {
+    "campus": MobilitySpec("campus"),
+    "rwp": MobilitySpec("rwp"),
+    "interval400": MobilitySpec("interval", {"max_interval": 400.0}),
+    "interval2000": MobilitySpec("interval", {"max_interval": 2000.0}),
+}
+
+#: Sweep family → (mobility preset, protocol family).
+SWEEP_FAMILIES: dict[str, tuple[str, str]] = {
+    "baselines_trace": ("campus", "baselines"),
+    "baselines_rwp": ("rwp", "baselines"),
+    "enhanced_trace": ("campus", "enhanced"),
+    "enhanced_rwp": ("rwp", "enhanced"),
+    "ttl_interval400": ("interval400", "ttl"),
+    "ttl_interval2000": ("interval2000", "ttl"),
+}
+
+
+def _family_configs(family: str) -> list[ProtocolConfig]:
+    return [spec.build() for spec in PROTOCOL_FAMILIES[family]]
+
 
 def baseline_protocols() -> list[ProtocolConfig]:
     """The four baselines, parameterised as the paper's figures use them
     (P=Q=1 best-delay setting, TTL=300 s)."""
-    return [
-        make_protocol_config("pq", p=1.0, q=1.0),
-        make_protocol_config("ttl", ttl=300.0),
-        make_protocol_config("ec"),
-        make_protocol_config("immunity"),
-    ]
+    return _family_configs("baselines")
 
 
 def enhanced_protocols() -> list[ProtocolConfig]:
     """Enhancements and their unmodified counterparts (Figs 15-20)."""
-    return [
-        make_protocol_config("ttl", ttl=300.0),
-        make_protocol_config("dynamic_ttl"),
-        make_protocol_config("ec"),
-        make_protocol_config("ec_ttl"),
-        make_protocol_config("immunity"),
-        make_protocol_config("cumulative_immunity"),
-    ]
+    return _family_configs("enhanced")
 
 
 def ttl_family() -> list[ProtocolConfig]:
     """Constant vs dynamic TTL (the interval-scenario curves)."""
-    return [
-        make_protocol_config("ttl", ttl=300.0),
-        make_protocol_config("dynamic_ttl"),
-    ]
+    return _family_configs("ttl")
 
 
 class ExperimentRunner:
@@ -87,69 +123,79 @@ class ExperimentRunner:
         scale: str | Scale = "quick",
         seed: int = 7,
         progress: Callable[[str], None] | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self.scale = scale if isinstance(scale, Scale) else SCALES[scale]
         self.seed = seed
         self.progress = progress
+        self.executor = executor
         self._traces: dict[str, ContactTrace] = {}
         self._sweeps: dict[tuple[str, str], SweepResult] = {}
 
     # ------------------------------------------------------------- mobility
 
+    def mobility_spec(self, kind: str) -> MobilitySpec:
+        """The :class:`MobilitySpec` behind ``kind``.
+
+        Preset names (:data:`MOBILITY_PRESETS`: ``campus``, ``rwp``,
+        ``interval400``, ``interval2000``) resolve first; any other string
+        is treated as a raw mobility-registry kind with default parameters,
+        so registered user mobilities work here with no further wiring.
+        """
+        preset = MOBILITY_PRESETS.get(kind)
+        return preset if preset is not None else MobilitySpec(kind)
+
     def trace(self, kind: str) -> ContactTrace:
         """The mobility input for ``kind`` (cached).
 
-        Kinds: ``campus``, ``rwp``, ``interval400``, ``interval2000``.
+        Raises:
+            KeyError: if ``kind`` is neither a preset nor a registered
+                mobility kind.
         """
         if kind not in self._traces:
-            if kind == "campus":
-                t = CampusTraceGenerator(seed=self.seed).generate()
-            elif kind == "rwp":
-                t = SubscriberPointRWP(RWPConfig(), seed=self.seed).generate()
-            elif kind == "interval400":
-                t = generate_interval_scenario(
-                    IntervalScenarioConfig(max_interval=400.0), seed=self.seed
-                )
-            elif kind == "interval2000":
-                t = generate_interval_scenario(
-                    IntervalScenarioConfig(max_interval=2000.0), seed=self.seed
-                )
-            else:
-                raise KeyError(f"unknown mobility kind {kind!r}")
-            self._traces[kind] = t
+            self._traces[kind] = self.mobility_spec(kind).build(seed=self.seed)
         return self._traces[kind]
 
     # --------------------------------------------------------------- sweeps
 
-    def sweep(self, family: str) -> SweepResult:
-        """Run (or fetch) a named (mobility × protocol) sweep.
+    def scenario(self, family: str) -> ScenarioSpec:
+        """The :class:`ScenarioSpec` for a named sweep family at this
+        runner's scale and seed.
 
         Families: ``baselines_trace``, ``baselines_rwp``,
         ``enhanced_trace``, ``enhanced_rwp``, ``ttl_interval400``,
         ``ttl_interval2000``.
         """
+        try:
+            mobility_kind, protocol_family = SWEEP_FAMILIES[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown sweep family {family!r}; "
+                f"available: {', '.join(sorted(SWEEP_FAMILIES))}"
+            ) from None
+        return ScenarioSpec(
+            name=family,
+            mobility=self.mobility_spec(mobility_kind),
+            protocols=PROTOCOL_FAMILIES[protocol_family],
+            workload=WorkloadSpec(
+                loads=self.scale.loads, replications=self.scale.replications
+            ),
+            seed=self.seed,
+        )
+
+    def sweep(self, family: str) -> SweepResult:
+        """Run (or fetch) a named (mobility × protocol) sweep."""
         key = (family, self.scale.name)
         if key in self._sweeps:
             return self._sweeps[key]
-        if family == "baselines_trace":
-            trace, protos = self.trace("campus"), baseline_protocols()
-        elif family == "baselines_rwp":
-            trace, protos = self.trace("rwp"), baseline_protocols()
-        elif family == "enhanced_trace":
-            trace, protos = self.trace("campus"), enhanced_protocols()
-        elif family == "enhanced_rwp":
-            trace, protos = self.trace("rwp"), enhanced_protocols()
-        elif family == "ttl_interval400":
-            trace, protos = self.trace("interval400"), ttl_family()
-        elif family == "ttl_interval2000":
-            trace, protos = self.trace("interval2000"), ttl_family()
-        else:
-            raise KeyError(f"unknown sweep family {family!r}")
-        cfg = SweepConfig(
-            loads=self.scale.loads,
-            replications=self.scale.replications,
-            master_seed=self.seed,
+        spec = self.scenario(family)
+        mobility_kind, _ = SWEEP_FAMILIES[family]
+        result = run_sweep(
+            self.trace(mobility_kind),  # shared with other families of the kind
+            spec.build_protocols(),
+            spec.sweep_config(),
+            executor=self.executor,
+            progress=self.progress,
         )
-        result = run_sweep(trace, protos, cfg, progress=self.progress)
         self._sweeps[key] = result
         return result

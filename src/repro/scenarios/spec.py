@@ -1,0 +1,507 @@
+"""Declarative scenario specifications.
+
+A scenario is everything a sweep needs, as plain data: *which mobility*
+(by registry name + parameters), *which protocols* (by registry name +
+parameters), *which grid* (loads × replications), and the mechanism
+constants. Specs round-trip through JSON, so a scenario can live in a
+file, ship to a cluster, or be diffed in a code review::
+
+    spec = ScenarioSpec(
+        name="campus-baselines",
+        mobility=MobilitySpec("campus"),
+        protocols=(ProtocolSpec("pq", {"p": 1.0, "q": 1.0}), ProtocolSpec("ec")),
+        workload=WorkloadSpec(loads=(5, 25, 50), replications=3),
+        seed=7,
+    )
+    spec.save("scenario.json")
+    result = ScenarioSpec.load("scenario.json").run(jobs=4)
+
+The **mobility registry** is the extension point that makes user-defined
+mobility models first-class: ``register_mobility("mine")(builder)`` and
+``MobilitySpec(kind="mine", params={...})`` immediately works everywhere a
+built-in does — the experiment runner, scenario files, the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence, TextIO
+
+from repro.core.executors import Executor
+from repro.core.protocols.registry import ProtocolConfig, make_protocol_config
+from repro.core.results import SweepResult
+from repro.core.simulation import SimulationConfig
+from repro.core.sweep import SweepConfig, TraceFactory
+from repro.core.workload import PAPER_LOADS, PAPER_REPLICATIONS
+from repro.des.rng import derive_seed
+from repro.mobility.contact import ContactTrace
+
+# --------------------------------------------------------------------------
+# mobility registry
+
+#: A mobility builder: ``builder(seed=..., **params) -> ContactTrace``.
+MobilityBuilder = Callable[..., ContactTrace]
+
+_MOBILITY_REGISTRY: dict[str, MobilityBuilder] = {}
+
+
+def register_mobility(
+    name: str, builder: MobilityBuilder | None = None
+) -> Callable[[MobilityBuilder], MobilityBuilder] | MobilityBuilder:
+    """Register a mobility builder under ``name``.
+
+    Usable directly (``register_mobility("mine", build_mine)``) or as a
+    decorator (``@register_mobility("mine")``). The builder must accept a
+    ``seed`` keyword plus its model parameters and return a
+    :class:`~repro.mobility.contact.ContactTrace`.
+
+    Raises:
+        ValueError: if the name is already taken by a different builder.
+    """
+
+    def _register(fn: MobilityBuilder) -> MobilityBuilder:
+        existing = _MOBILITY_REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"mobility kind {name!r} already registered")
+        _MOBILITY_REGISTRY[name] = fn
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def mobility_names() -> list[str]:
+    """All registered mobility kinds, sorted."""
+    return sorted(_MOBILITY_REGISTRY)
+
+
+def build_mobility(kind: str, *, seed: int = 0, **params: Any) -> ContactTrace:
+    """Build a trace from a registered mobility kind.
+
+    Raises:
+        KeyError: for an unknown kind (message lists what is available).
+        ValueError: for parameters the kind does not accept.
+    """
+    try:
+        builder = _MOBILITY_REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown mobility kind {kind!r}; available: {', '.join(mobility_names())}"
+        ) from None
+    try:
+        return builder(seed=seed, **params)
+    except TypeError as exc:
+        # Builders forward **params into config dataclasses; surface an
+        # unknown/extra parameter as a value error, not a call-site bug.
+        raise ValueError(f"bad parameters for mobility {kind!r}: {exc}") from exc
+
+
+def _config_from_params(cls: type, params: Mapping[str, Any]) -> Any:
+    """Instantiate a config dataclass, rejecting unknown parameter names."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} parameter(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return cls(**params)
+
+
+def _register_builtins() -> None:
+    from repro.mobility.interval import IntervalScenarioConfig, generate_interval_scenario
+    from repro.mobility.rwp import (
+        ClassicRWP,
+        ClassicRWPConfig,
+        RWPConfig,
+        SubscriberPointRWP,
+    )
+    from repro.mobility.synthetic import CampusTraceConfig, CampusTraceGenerator
+    from repro.mobility.trace_file import read_contact_trace, read_haggle_trace
+
+    @register_mobility("campus")
+    def _campus(*, seed: int = 0, **params: Any) -> ContactTrace:
+        cfg = _config_from_params(CampusTraceConfig, params)
+        return CampusTraceGenerator(cfg, seed=seed).generate()
+
+    @register_mobility("rwp")
+    def _rwp(*, seed: int = 0, **params: Any) -> ContactTrace:
+        cfg = _config_from_params(RWPConfig, params)
+        return SubscriberPointRWP(cfg, seed=seed).generate()
+
+    @register_mobility("classic_rwp")
+    def _classic_rwp(*, seed: int = 0, **params: Any) -> ContactTrace:
+        cfg = _config_from_params(ClassicRWPConfig, params)
+        return ClassicRWP(cfg, seed=seed).generate()
+
+    @register_mobility("interval")
+    def _interval(*, seed: int = 0, **params: Any) -> ContactTrace:
+        cfg = _config_from_params(IntervalScenarioConfig, params)
+        return generate_interval_scenario(cfg, seed=seed)
+
+    @register_mobility("trace_file")
+    def _trace_file(
+        *, seed: int = 0, path: str = "", format: str = "canonical", **extra: Any
+    ) -> ContactTrace:
+        del seed  # on-disk traces are deterministic
+        if extra:
+            raise ValueError(
+                f"unknown trace_file parameter(s): {', '.join(sorted(extra))}"
+            )
+        if not path:
+            raise ValueError("trace_file mobility requires a 'path' parameter")
+        if format == "canonical":
+            return read_contact_trace(path)
+        if format == "haggle":
+            return read_haggle_trace(path)
+        raise ValueError(f"unknown trace format {format!r} (canonical or haggle)")
+
+
+_register_builtins()
+
+
+# --------------------------------------------------------------------------
+# spec dataclasses
+
+def _check_keys(cls_name: str, data: Mapping[str, Any], known: Sequence[str]) -> None:
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{cls_name} spec must be a mapping, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown {cls_name} key(s): {', '.join(unknown)}; "
+            f"known: {', '.join(known)}"
+        )
+
+
+def _check_params(cls_name: str, params: Any) -> dict[str, Any]:
+    if not isinstance(params, Mapping):
+        raise ValueError(f"{cls_name}.params must be a mapping")
+    bad = [k for k in params if not isinstance(k, str)]
+    if bad:
+        raise ValueError(f"{cls_name}.params keys must be strings, got {bad!r}")
+    return dict(params)
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """A mobility input, by registry kind + parameters.
+
+    Attributes:
+        kind: Registered mobility kind (``campus``, ``rwp``,
+            ``classic_rwp``, ``interval``, ``trace_file``, or any kind added
+            via :func:`register_mobility`).
+        params: Keyword parameters for the kind's builder (e.g. the fields
+            of :class:`~repro.mobility.rwp.RWPConfig` for ``rwp``).
+        seed: Fixed generation seed; ``None`` (default) inherits the seed
+            the caller builds with (for a scenario: the scenario seed).
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("mobility kind must be non-empty")
+        object.__setattr__(self, "params", _check_params("MobilitySpec", self.params))
+
+    def build(self, *, seed: int = 0) -> ContactTrace:
+        """Build the trace (``self.seed``, when set, wins over ``seed``)."""
+        effective = self.seed if self.seed is not None else seed
+        return build_mobility(self.kind, seed=effective, **self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MobilitySpec":
+        _check_keys("MobilitySpec", data, ["kind", "params", "seed"])
+        if "kind" not in data:
+            raise ValueError("MobilitySpec requires a 'kind' key")
+        return cls(
+            kind=data["kind"],
+            params=dict(data.get("params", {})),
+            seed=data.get("seed"),
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A protocol under test, by registry name + parameter overrides."""
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("protocol name must be non-empty")
+        object.__setattr__(self, "params", _check_params("ProtocolSpec", self.params))
+
+    def build(self) -> ProtocolConfig:
+        """Instantiate the protocol configuration from the registry."""
+        try:
+            return make_protocol_config(self.name, **self.params)
+        except TypeError as exc:
+            raise ValueError(
+                f"bad parameters for protocol {self.name!r}: {exc}"
+            ) from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name}
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolSpec":
+        _check_keys("ProtocolSpec", data, ["name", "params"])
+        if "name" not in data:
+            raise ValueError("ProtocolSpec requires a 'name' key")
+        return cls(name=data["name"], params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The sweep grid: offered loads × replications (paper defaults)."""
+
+    loads: tuple[int, ...] = PAPER_LOADS
+    replications: int = PAPER_REPLICATIONS
+
+    def __post_init__(self) -> None:
+        for x in self.loads:
+            if float(x) != int(x):
+                raise ValueError(f"loads must be integers, got {x!r}")
+        loads = tuple(int(x) for x in self.loads)
+        object.__setattr__(self, "loads", loads)
+        if not loads:
+            raise ValueError("loads must be non-empty")
+        if any(load < 1 for load in loads):
+            raise ValueError("loads must be >= 1")
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"loads": list(self.loads), "replications": self.replications}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        _check_keys("WorkloadSpec", data, ["loads", "replications"])
+        kwargs: dict[str, Any] = {}
+        if "loads" in data:
+            loads = data["loads"]
+            if isinstance(loads, (str, bytes)) or not isinstance(loads, Sequence):
+                raise ValueError("WorkloadSpec.loads must be a list of integers")
+            kwargs["loads"] = tuple(loads)
+        if "replications" in data:
+            kwargs["replications"] = data["replications"]
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serialisable experiment scenario.
+
+    Attributes:
+        mobility: The mobility input (see :class:`MobilitySpec`).
+        protocols: Protocols under comparison, in figure order.
+        workload: The sweep grid (defaults to the paper's 5..50 × 10).
+        name: Label used in reports and export file names.
+        seed: Master seed for every random stream in the scenario.
+        shared_trace: True (paper's setup) = one trace shared by all runs;
+            False = a fresh trace per replication index, each generated
+            with a seed derived from ``(base, "mobility", rep)`` where
+            ``base`` is the mobility's pinned seed or, by default, ``seed``.
+        buffer_capacity / bundle_tx_time: Mechanism constants, forwarded
+            into :class:`~repro.core.simulation.SimulationConfig`.
+    """
+
+    mobility: MobilitySpec
+    protocols: tuple[ProtocolSpec, ...]
+    workload: WorkloadSpec = WorkloadSpec()
+    name: str = ""
+    seed: int = 0
+    shared_trace: bool = True
+    buffer_capacity: int = 10
+    bundle_tx_time: float = 100.0
+
+    def __post_init__(self) -> None:
+        protocols = tuple(self.protocols)
+        object.__setattr__(self, "protocols", protocols)
+        if not protocols:
+            raise ValueError("scenario needs at least one protocol")
+        # Fail fast on bad mechanism constants (same rules as SimulationConfig).
+        SimulationConfig(
+            buffer_capacity=self.buffer_capacity, bundle_tx_time=self.bundle_tx_time
+        )
+
+    # ------------------------------------------------------------- building
+
+    def build_trace(self, rep: int = 0) -> ContactTrace:
+        """The mobility input for replication ``rep``.
+
+        The mobility's pinned seed (when set) — otherwise the scenario
+        seed — is the *base*; with ``shared_trace=False`` the effective
+        seed is derived from ``(base, "mobility", rep)`` so replications
+        stay independent even when the base is pinned.
+        """
+        base = self.mobility.seed if self.mobility.seed is not None else self.seed
+        if not self.shared_trace:
+            base = int(derive_seed(base, "mobility", rep).generate_state(1)[0])
+        return build_mobility(self.mobility.kind, seed=base, **self.mobility.params)
+
+    def trace_factory(self) -> TraceFactory:
+        """Replication-index → trace callable for :func:`run_sweep`."""
+        return self.build_trace
+
+    def build_protocols(self) -> list[ProtocolConfig]:
+        """Instantiate every protocol configuration."""
+        return [p.build() for p in self.protocols]
+
+    def sweep_config(self) -> SweepConfig:
+        """The equivalent :class:`~repro.core.sweep.SweepConfig`."""
+        return SweepConfig(
+            loads=self.workload.loads,
+            replications=self.workload.replications,
+            master_seed=self.seed,
+            shared_trace=self.shared_trace,
+            sim=SimulationConfig(
+                buffer_capacity=self.buffer_capacity,
+                bundle_tx_time=self.bundle_tx_time,
+            ),
+        )
+
+    def run(
+        self,
+        *,
+        executor: Executor | None = None,
+        jobs: int | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> SweepResult:
+        """Execute the scenario's full sweep grid.
+
+        Args:
+            executor: Explicit execution backend; mutually exclusive with
+                ``jobs``.
+            jobs: Convenience: >1 selects a
+                :class:`~repro.core.executors.ParallelExecutor` with that
+                many worker processes.
+            progress: Per-cell progress callback (one line per completed
+                replication, with a ``[done/total]`` counter).
+        """
+        from repro.core.executors import make_executor
+        from repro.core.sweep import run_sweep
+
+        if executor is not None and jobs is not None:
+            raise ValueError("pass either executor or jobs, not both")
+        if executor is None:
+            executor = make_executor(jobs)
+        return run_sweep(
+            self.trace_factory(),
+            self.build_protocols(),
+            self.sweep_config(),
+            executor=executor,
+            progress=progress,
+        )
+
+    # -------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "mobility": self.mobility.to_dict(),
+            "protocols": [p.to_dict() for p in self.protocols],
+            "workload": self.workload.to_dict(),
+            "shared_trace": self.shared_trace,
+            "buffer_capacity": self.buffer_capacity,
+            "bundle_tx_time": self.bundle_tx_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _check_keys(
+            "ScenarioSpec",
+            data,
+            [
+                "name",
+                "seed",
+                "mobility",
+                "protocols",
+                "workload",
+                "shared_trace",
+                "buffer_capacity",
+                "bundle_tx_time",
+            ],
+        )
+        if "mobility" not in data:
+            raise ValueError("ScenarioSpec requires a 'mobility' key")
+        if "protocols" not in data:
+            raise ValueError("ScenarioSpec requires a 'protocols' key")
+        protocols = data["protocols"]
+        if isinstance(protocols, Mapping) or not isinstance(protocols, Sequence):
+            raise ValueError("ScenarioSpec.protocols must be a list of protocol specs")
+        kwargs: dict[str, Any] = {
+            "mobility": MobilitySpec.from_dict(data["mobility"]),
+            "protocols": tuple(ProtocolSpec.from_dict(p) for p in protocols),
+        }
+        if "workload" in data:
+            kwargs["workload"] = WorkloadSpec.from_dict(data["workload"])
+        for key in ("name", "seed", "shared_trace", "buffer_capacity", "bundle_tx_time"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The scenario as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a scenario from a JSON document.
+
+        Raises:
+            ValueError: on malformed JSON, unknown keys, or bad values.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"scenario is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, dest: str | Path | TextIO) -> None:
+        """Write the scenario as JSON to a path or open stream."""
+        text = self.to_json() + "\n"
+        if isinstance(dest, (str, Path)):
+            Path(dest).write_text(text, encoding="utf-8")
+        else:
+            dest.write(text)
+
+    @classmethod
+    def load(cls, source: str | Path | TextIO) -> "ScenarioSpec":
+        """Read a scenario JSON file (path or open stream)."""
+        if isinstance(source, (str, Path)):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = source.read()
+        return cls.from_json(text)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    executor: Executor | None = None,
+    jobs: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Functional alias for :meth:`ScenarioSpec.run`."""
+    return spec.run(executor=executor, jobs=jobs, progress=progress)

@@ -3,13 +3,17 @@
 import pytest
 
 from repro.experiments.runner import (
+    MOBILITY_PRESETS,
+    PROTOCOL_FAMILIES,
     SCALES,
+    SWEEP_FAMILIES,
     ExperimentRunner,
     Scale,
     baseline_protocols,
     enhanced_protocols,
     ttl_family,
 )
+from repro.scenarios import MobilitySpec, ScenarioSpec, register_mobility
 
 
 class TestScales:
@@ -76,3 +80,38 @@ class TestRunner:
         r = ExperimentRunner(scale="smoke", seed=1, progress=lines.append)
         r.sweep("ttl_interval400")
         assert lines
+
+
+class TestDeclarativeTables:
+    def test_every_family_resolves(self):
+        for mobility_kind, protocol_family in SWEEP_FAMILIES.values():
+            assert mobility_kind in MOBILITY_PRESETS
+            assert protocol_family in PROTOCOL_FAMILIES
+
+    def test_scenario_spec_for_family(self):
+        runner = ExperimentRunner(scale="smoke", seed=3)
+        spec = runner.scenario("baselines_trace")
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.mobility == MobilitySpec("campus")
+        assert spec.workload.loads == SCALES["smoke"].loads
+        assert spec.seed == 3
+        # the spec round-trips, so every built-in family is file-shippable
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_scenario_unknown_family(self):
+        with pytest.raises(KeyError, match="family"):
+            ExperimentRunner(scale="smoke").scenario("bogus")
+
+    def test_registered_mobility_is_first_class(self):
+        from repro.mobility.contact import ContactTrace
+
+        @register_mobility("runner-test-blip")
+        def _blip(*, seed: int = 0) -> ContactTrace:
+            return ContactTrace.from_tuples(
+                [(10.0 + seed, 60.0 + seed, 0, 1)], 2, horizon=1_000.0
+            )
+
+        runner = ExperimentRunner(scale="smoke", seed=5)
+        trace = runner.trace("runner-test-blip")
+        assert trace[0].start == 15.0
+        assert runner.trace("runner-test-blip") is trace  # cached

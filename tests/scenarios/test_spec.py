@@ -1,0 +1,244 @@
+"""Scenario specs: JSON round-trips, validation, mobility registry."""
+
+import json
+
+import pytest
+
+from repro.mobility.contact import ContactTrace
+from repro.scenarios import (
+    MobilitySpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_mobility,
+    mobility_names,
+    register_mobility,
+)
+
+
+def tiny_scenario(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name="tiny",
+        mobility=MobilitySpec(
+            "interval",
+            {"num_nodes": 8, "max_encounters_per_node": 10, "max_interval": 300.0},
+        ),
+        protocols=(ProtocolSpec("pure"), ProtocolSpec("ttl", {"ttl": 300.0})),
+        workload=WorkloadSpec(loads=(2, 4), replications=2),
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestMobilityRegistry:
+    def test_builtins_registered(self):
+        names = mobility_names()
+        for kind in ("campus", "rwp", "classic_rwp", "interval", "trace_file"):
+            assert kind in names
+
+    def test_build_known_kind(self):
+        trace = build_mobility("interval", seed=1, num_nodes=6, max_encounters_per_node=4)
+        assert trace.num_nodes == 6
+
+    def test_unknown_kind_lists_available(self):
+        with pytest.raises(KeyError, match="campus"):
+            build_mobility("warp-drive")
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ValueError, match="wormholes"):
+            build_mobility("interval", seed=0, wormholes=3)
+
+    def test_register_custom_kind(self):
+        @register_mobility("test-pair")
+        def _pair(*, seed: int = 0, gap: float = 100.0) -> ContactTrace:
+            return ContactTrace.from_tuples(
+                [(gap, gap + 50.0, 0, 1)], 2, horizon=1_000.0
+            )
+
+        trace = MobilitySpec("test-pair", {"gap": 200.0}).build(seed=0)
+        assert trace[0].start == 200.0
+        # idempotent for the same builder, rejected for a different one
+        register_mobility("test-pair", _pair)
+        with pytest.raises(ValueError, match="already registered"):
+            register_mobility("test-pair", lambda **kw: None)
+
+    def test_trace_file_kind(self, tmp_path):
+        from repro.mobility.trace_file import write_contact_trace
+
+        trace = ContactTrace.from_tuples([(10.0, 60.0, 0, 1)], 3, horizon=500.0)
+        path = tmp_path / "t.trace"
+        write_contact_trace(trace, path)
+        loaded = build_mobility("trace_file", path=str(path))
+        assert len(loaded) == 1 and loaded.num_nodes == 3
+        with pytest.raises(ValueError, match="path"):
+            build_mobility("trace_file")
+        with pytest.raises(ValueError, match="format"):
+            build_mobility("trace_file", path=str(path), format="xml")
+
+
+class TestMobilitySpec:
+    def test_round_trip(self):
+        spec = MobilitySpec("rwp", {"num_nodes": 10}, seed=5)
+        assert MobilitySpec.from_dict(spec.to_dict()) == spec
+
+    def test_minimal_dict(self):
+        spec = MobilitySpec.from_dict({"kind": "campus"})
+        assert spec == MobilitySpec("campus")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown MobilitySpec key"):
+            MobilitySpec.from_dict({"kind": "campus", "speed": 3})
+
+    def test_requires_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            MobilitySpec.from_dict({"params": {}})
+
+    def test_own_seed_wins(self):
+        pinned = MobilitySpec(
+            "interval", {"num_nodes": 6, "max_encounters_per_node": 4}, seed=1
+        )
+        inherit = MobilitySpec(
+            "interval", {"num_nodes": 6, "max_encounters_per_node": 4}
+        )
+        assert pinned.build(seed=99).contacts == pinned.build(seed=1).contacts
+        assert inherit.build(seed=1).contacts == pinned.build(seed=123).contacts
+
+
+class TestProtocolSpec:
+    def test_build(self):
+        config = ProtocolSpec("pq", {"p": 0.5, "q": 0.25}).build()
+        assert config.protocol_name == "pq"
+        assert config.p == 0.5
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError, match="available"):
+            ProtocolSpec("carrier-pigeon").build()
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="bad parameters"):
+            ProtocolSpec("pq", {"warp": 9}).build()
+
+    def test_round_trip(self):
+        spec = ProtocolSpec("ttl", {"ttl": 120.0})
+        assert ProtocolSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestWorkloadSpec:
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec()
+        assert spec.loads == tuple(range(5, 55, 5))
+        assert spec.replications == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"loads": ()}, {"loads": (0,)}, {"replications": 0}],
+    )
+    def test_rejects_bad_grids(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+    def test_round_trip(self):
+        spec = WorkloadSpec(loads=(1, 2, 3), replications=4)
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_loads_must_be_list(self):
+        with pytest.raises(ValueError, match="loads"):
+            WorkloadSpec.from_dict({"loads": "5,10"})
+
+    def test_non_integral_loads_rejected_not_truncated(self):
+        with pytest.raises(ValueError, match="integers"):
+            WorkloadSpec(loads=(2.5, 7))
+        assert WorkloadSpec(loads=(5.0, 10)).loads == (5, 10)  # integral ok
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        spec = tiny_scenario()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = tiny_scenario(shared_trace=False, buffer_capacity=5)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = tiny_scenario()
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+        # the on-disk form is plain JSON
+        assert json.loads(path.read_text())["name"] == "tiny"
+
+    def test_unknown_key_rejected(self):
+        data = tiny_scenario().to_dict()
+        data["gpu"] = True
+        with pytest.raises(ValueError, match="unknown ScenarioSpec key"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_nested_key_rejected(self):
+        data = tiny_scenario().to_dict()
+        data["workload"]["warmup"] = 10
+        with pytest.raises(ValueError, match="unknown WorkloadSpec key"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_values_rejected(self):
+        data = tiny_scenario().to_dict()
+        data["workload"]["replications"] = 0
+        with pytest.raises(ValueError, match="replications"):
+            ScenarioSpec.from_dict(data)
+        data = tiny_scenario().to_dict()
+        data["buffer_capacity"] = 0
+        with pytest.raises(ValueError, match="buffer_capacity"):
+            ScenarioSpec.from_dict(data)
+
+    def test_requires_mobility_and_protocols(self):
+        with pytest.raises(ValueError, match="mobility"):
+            ScenarioSpec.from_dict({"protocols": [{"name": "pure"}]})
+        with pytest.raises(ValueError, match="protocols"):
+            ScenarioSpec.from_dict({"mobility": {"kind": "campus"}})
+        with pytest.raises(ValueError, match="at least one protocol"):
+            tiny_scenario(protocols=())
+
+    def test_not_json_rejected(self):
+        with pytest.raises(ValueError, match="JSON"):
+            ScenarioSpec.from_json("{nope")
+
+    def test_sweep_config_mirrors_spec(self):
+        spec = tiny_scenario(buffer_capacity=7, bundle_tx_time=50.0)
+        cfg = spec.sweep_config()
+        assert cfg.loads == (2, 4)
+        assert cfg.replications == 2
+        assert cfg.master_seed == 3
+        assert cfg.sim.buffer_capacity == 7
+        assert cfg.sim.bundle_tx_time == 50.0
+
+    def test_build_protocols(self):
+        labels = [p.label for p in tiny_scenario().build_protocols()]
+        assert labels[0] == "Pure epidemic"
+        assert "TTL" in labels[1]
+
+    def test_shared_trace_is_seed_stable(self):
+        spec = tiny_scenario()
+        assert spec.build_trace(0).contacts == spec.build_trace(5).contacts
+
+    def test_unshared_trace_varies_by_rep(self):
+        spec = tiny_scenario(shared_trace=False)
+        assert spec.build_trace(0).contacts != spec.build_trace(1).contacts
+
+    def test_unshared_trace_varies_even_with_pinned_mobility_seed(self):
+        """A pinned mobility seed must not collapse replications onto one
+        trace — it only pins the *base* of the per-rep derivation."""
+        spec = tiny_scenario(shared_trace=False)
+        pinned = tiny_scenario(
+            shared_trace=False,
+            mobility=MobilitySpec(spec.mobility.kind, spec.mobility.params, seed=5),
+        )
+        assert pinned.build_trace(0).contacts != pinned.build_trace(1).contacts
+        # and the base is reproducible: same pinned seed, same rep, same trace
+        assert pinned.build_trace(1).contacts == pinned.build_trace(1).contacts
+
+    def test_run_executes_grid(self):
+        result = tiny_scenario().run()
+        # 2 protocols × 2 loads × 2 replications
+        assert len(result) == 8
+        assert result.loads() == [2, 4]

@@ -6,6 +6,17 @@ import pytest
 
 from repro.cli import build_parser, main
 
+TINY_SCENARIO = {
+    "name": "tiny",
+    "seed": 3,
+    "mobility": {
+        "kind": "interval",
+        "params": {"num_nodes": 8, "max_encounters_per_node": 10, "max_interval": 300.0},
+    },
+    "protocols": [{"name": "pure"}, {"name": "ttl", "params": {"ttl": 300.0}}],
+    "workload": {"loads": [2, 4], "replications": 2},
+}
+
 
 class TestParser:
     def test_requires_command(self):
@@ -21,6 +32,14 @@ class TestParser:
     def test_trace_requires_out(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "campus"])
+
+    def test_jobs_defaults_to_serial(self):
+        assert build_parser().parse_args(["run", "fig13"]).jobs == 1
+
+    def test_jobs_global_and_per_subcommand(self):
+        assert build_parser().parse_args(["--jobs", "4", "run", "fig13"]).jobs == 4
+        assert build_parser().parse_args(["run", "fig13", "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(["run-scenario", "s.json", "--jobs", "2"]).jobs == 2
 
 
 class TestCommands:
@@ -63,3 +82,52 @@ class TestCommands:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["run", "fig99", "--scale", "smoke"])
+
+
+class TestRunScenario:
+    @pytest.fixture
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(TINY_SCENARIO))
+        return path
+
+    def test_runs_scenario_file(self, scenario_file, capsys):
+        assert main(["run-scenario", str(scenario_file)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario tiny: 8 runs" in out
+        assert "Delivery ratio" in out
+        assert "Epidemic with TTL=300" in out
+
+    def test_parallel_matches_serial_output(self, scenario_file, capsys):
+        assert main(["run-scenario", str(scenario_file)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["--jobs", "2", "run-scenario", str(scenario_file)]) == 0
+        parallel_out = capsys.readouterr().out
+        # identical results => identical tables (headers differ in jobs/time)
+        assert serial_out.split("====")[-1] == parallel_out.split("====")[-1]
+
+    def test_exports(self, scenario_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["run-scenario", str(scenario_file), "--out", str(out_dir)]) == 0
+        assert (out_dir / "tiny_runs.csv").exists()
+        doc = json.loads((out_dir / "tiny_delivery_ratio.json").read_text())
+        assert doc["meta"]["scenario"] == "tiny"
+        assert doc["meta"]["loads"] == [2, 4]
+
+    def test_verbose_progress_counts_cells(self, scenario_file, capsys):
+        assert main(["run-scenario", str(scenario_file), "--verbose"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/8]" in err and "[8/8]" in err
+
+    def test_pathological_name_sanitized_in_exports(self, tmp_path, capsys):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({**TINY_SCENARIO, "name": "camp/us base"}))
+        out_dir = tmp_path / "out"
+        assert main(["run-scenario", str(path), "--out", str(out_dir)]) == 0
+        assert (out_dir / "camp_us_base_runs.csv").exists()
+
+    def test_bad_scenario_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**TINY_SCENARIO, "warp": 9}))
+        with pytest.raises(ValueError, match="unknown ScenarioSpec key"):
+            main(["run-scenario", str(bad)])

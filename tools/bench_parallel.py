@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Smoke benchmark: serial vs parallel sweep execution.
+
+Runs one of the built-in sweep families at a chosen scale with the
+``SerialExecutor`` and then with a ``ParallelExecutor``, reports wall-clock
+times and the speedup, and verifies the two backends produced bit-identical
+results (exits non-zero if not — this doubles as a determinism check in CI).
+
+Usage:
+    PYTHONPATH=src python tools/bench_parallel.py --scale smoke --jobs 4
+    PYTHONPATH=src python tools/bench_parallel.py --family enhanced_rwp --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.executors import ParallelExecutor, SerialExecutor
+from repro.core.sweep import run_sweep
+from repro.experiments.runner import SCALES, SWEEP_FAMILIES, ExperimentRunner
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--family", choices=sorted(SWEEP_FAMILIES), default="baselines_trace"
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--jobs", type=int, default=2, help="parallel worker count")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+    spec = runner.scenario(args.family)
+    mobility_kind, _ = SWEEP_FAMILIES[args.family]
+    trace = runner.trace(mobility_kind)  # built once, outside the timings
+    protocols = spec.build_protocols()
+    sweep = spec.sweep_config()
+    cells = len(protocols) * len(sweep.loads) * sweep.replications
+    print(
+        f"family={args.family} scale={args.scale} seed={args.seed}: "
+        f"{cells} cells ({len(protocols)} protocols × {len(sweep.loads)} loads "
+        f"× {sweep.replications} reps)"
+    )
+
+    t0 = time.perf_counter()
+    serial = run_sweep(trace, protocols, sweep, executor=SerialExecutor())
+    t_serial = time.perf_counter() - t0
+    print(f"serial            : {t_serial:8.2f}s")
+
+    t0 = time.perf_counter()
+    parallel = run_sweep(trace, protocols, sweep, executor=ParallelExecutor(args.jobs))
+    t_parallel = time.perf_counter() - t0
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    print(f"parallel (jobs={args.jobs}): {t_parallel:8.2f}s   speedup ×{speedup:.2f}")
+
+    if serial.runs != parallel.runs:
+        print("ERROR: parallel results differ from serial run", file=sys.stderr)
+        return 1
+    print("determinism check : parallel results bit-identical to serial ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
