@@ -7,7 +7,6 @@ conclusions are not an artefact of the specific capacity.
 
 from conftest import BENCH_SEED
 
-from repro.analysis.ascii_plot import render_series_table
 from repro.core.protocols import make_protocol_config
 from repro.core.simulation import SimulationConfig
 from repro.core.sweep import SweepConfig, run_sweep

@@ -63,8 +63,8 @@ def main() -> int:
         ratio = imm["signaling_overhead"] / cum["signaling_overhead"]
         print(
             f"\ncumulative immunity transmits {ratio:.0f}x fewer control units "
-            f"than per-bundle immunity\n(the paper's 'order of magnitude less "
-            f"signaling overheads')."
+            "than per-bundle immunity\n(the paper's 'order of magnitude less "
+            "signaling overheads')."
         )
     return 0
 

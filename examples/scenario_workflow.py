@@ -42,41 +42,48 @@ def ring_mobility(*, seed: int = 0, num_nodes: int = 8, period: float = 600.0) -
     return ContactTrace.from_tuples(rows, num_nodes, name="ring").coalesced()
 
 
-# 2. The whole experiment as one declarative value.
-spec = ScenarioSpec(
-    name="ring-pq-vs-immunity",
-    mobility=MobilitySpec("ring", {"num_nodes": 8, "period": 600.0}),
-    protocols=(
-        ProtocolSpec("pq", {"p": 1.0, "q": 1.0}),
-        ProtocolSpec("immunity"),
-    ),
-    workload=WorkloadSpec(loads=(2, 6, 10), replications=3),
-    seed=42,
-)
-
-# 3. Round-trip through a JSON file — nothing is lost.
-with tempfile.TemporaryDirectory() as tmp:
-    path = Path(tmp) / "scenario.json"
-    spec.save(path)
-    print(f"scenario file ({path.stat().st_size} bytes):")
-    print(path.read_text())
-    loaded = ScenarioSpec.load(path)
-    assert loaded == spec, "JSON round-trip must be lossless"
-
-# 4. Execute — serially, then across two worker processes. Every cell
-#    derives its randomness from its own (seed, protocol, load, rep)
-#    coordinates, so the backends agree bit-for-bit.
-serial = loaded.run()
-parallel = loaded.run(jobs=2)
-assert serial.runs == parallel.runs, "backends must be bit-identical"
-print(f"ran {len(serial)} cells; parallel results identical to serial\n")
-
-# 5. The usual aggregation applies.
-for series in serial.delivery_ratio_series():
-    cells = ", ".join(f"{p.load}->{p.value:.2f}" for p in series.points)
-    print(f"delivery ratio  {series.label}: {cells}")
-for series in serial.delay_series():
-    cells = ", ".join(
-        f"{p.load}->{p.value:.0f}s" for p in series.points if p.n
+def main() -> None:
+    # 2. The whole experiment as one declarative value.
+    spec = ScenarioSpec(
+        name="ring-pq-vs-immunity",
+        mobility=MobilitySpec("ring", {"num_nodes": 8, "period": 600.0}),
+        protocols=(
+            ProtocolSpec("pq", {"p": 1.0, "q": 1.0}),
+            ProtocolSpec("immunity"),
+        ),
+        workload=WorkloadSpec(loads=(2, 6, 10), replications=3),
+        seed=42,
     )
-    print(f"delay           {series.label}: {cells}")
+
+    # 3. Round-trip through a JSON file — nothing is lost.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "scenario.json"
+        spec.save(path)
+        print(f"scenario file ({path.stat().st_size} bytes):")
+        print(path.read_text())
+        loaded = ScenarioSpec.load(path)
+        assert loaded == spec, "JSON round-trip must be lossless"
+
+    # 4. Execute — serially, then across two worker processes. Every cell
+    #    derives its randomness from its own (seed, protocol, load, rep)
+    #    coordinates, so the backends agree bit-for-bit.
+    serial = loaded.run()
+    parallel = loaded.run(jobs=2)
+    assert serial.runs == parallel.runs, "backends must be bit-identical"
+    print(f"ran {len(serial)} cells; parallel results identical to serial\n")
+
+    # 5. The usual aggregation applies.
+    for series in serial.delivery_ratio_series():
+        cells = ", ".join(f"{p.load}->{p.value:.2f}" for p in series.points)
+        print(f"delivery ratio  {series.label}: {cells}")
+    for series in serial.delay_series():
+        cells = ", ".join(
+            f"{p.load}->{p.value:.0f}s" for p in series.points if p.n
+        )
+        print(f"delay           {series.label}: {cells}")
+
+
+# Guarded so spawn-start-method platforms (macOS/Windows) can re-import
+# this module in ProcessPool workers without re-running the experiment.
+if __name__ == "__main__":
+    main()

@@ -29,9 +29,10 @@ from repro.analysis.io import write_runs_csv, write_series_csv, write_series_jso
 from repro.core.executors import make_executor
 from repro.experiments.registry import get_experiment, iter_experiments
 from repro.experiments.runner import SCALES, ExperimentRunner
-from repro.mobility.rwp import ClassicRWP, RWPConfig, SubscriberPointRWP
+from repro.mobility.rwp import ClassicRWP, ClassicRWPConfig, RWPConfig, SubscriberPointRWP
 from repro.mobility.stats import compute_trace_stats
-from repro.mobility.synthetic import CampusTraceGenerator
+from repro.mobility.trajectory import CONTACT_ENGINES
+from repro.mobility.synthetic import CampusTraceConfig, CampusTraceGenerator
 from repro.mobility.trace_file import read_contact_trace, write_contact_trace
 from repro.scenarios import ScenarioSpec
 
@@ -146,12 +147,25 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    engine = args.engine or "fast"
     if args.kind == "campus":
-        trace = CampusTraceGenerator(seed=args.seed).generate()
+        if args.engine is not None:
+            print(
+                "error: --engine applies to the trajectory-based kinds only "
+                "(campus draws contacts directly)",
+                file=sys.stderr,
+            )
+            return 2
+        cfg = CampusTraceConfig(num_nodes=args.nodes)
+        trace = CampusTraceGenerator(cfg, seed=args.seed).generate()
     elif args.kind == "rwp":
-        trace = SubscriberPointRWP(RWPConfig(), seed=args.seed).generate()
+        trace = SubscriberPointRWP(
+            RWPConfig(num_nodes=args.nodes, engine=engine), seed=args.seed
+        ).generate()
     elif args.kind == "classic-rwp":
-        trace = ClassicRWP(seed=args.seed).generate()
+        trace = ClassicRWP(
+            ClassicRWPConfig(num_nodes=args.nodes, engine=engine), seed=args.seed
+        ).generate()
     else:  # pragma: no cover - argparse choices guard this
         raise AssertionError(args.kind)
     write_contact_trace(trace, args.out)
@@ -233,6 +247,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser("trace", help="generate a mobility trace file")
     p_trace.add_argument("kind", choices=["campus", "rwp", "classic-rwp"])
     p_trace.add_argument("--seed", type=int, default=7)
+    p_trace.add_argument(
+        "--nodes",
+        type=int,
+        default=12,
+        help="population size (default: paper's 12)",
+    )
+    p_trace.add_argument(
+        "--engine",
+        choices=sorted(CONTACT_ENGINES),
+        default=None,
+        help="contact-extraction engine for rwp/classic-rwp "
+        "(fast = vectorized default, exact = scalar reference; "
+        "identical output)",
+    )
     p_trace.add_argument("--out", required=True, help="output path")
     p_trace.set_defaults(func=_cmd_trace)
 

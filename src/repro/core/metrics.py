@@ -31,7 +31,7 @@ Metrics recorded per run:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.bundle import BundleId
 

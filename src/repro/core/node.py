@@ -9,7 +9,7 @@ exact; the node itself is bookkeeping only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.buffer import RelayStore

@@ -25,7 +25,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.bundle import Bundle, StoredBundle
+from repro.core.bundle import StoredBundle
 from repro.core.protocols.base import ControlMessage, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -95,6 +95,12 @@ class ContactTrace:
     horizon: float | None = None
     name: str = ""
     _starts: list[float] = field(init=False, repr=False, default_factory=list)
+    _by_node: dict[int, list[Contact]] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _by_pair: dict[tuple[int, int], list[Contact]] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -139,14 +145,37 @@ class ContactTrace:
             out.add(c.b)
         return out
 
+    def _node_index(self) -> dict[int, list[Contact]]:
+        """Per-node contact lists, built lazily on first query."""
+        if self._by_node is None:
+            idx: dict[int, list[Contact]] = {}
+            for c in self.contacts:  # self.contacts is time-sorted
+                idx.setdefault(c.a, []).append(c)
+                idx.setdefault(c.b, []).append(c)
+            self._by_node = idx
+        return self._by_node
+
+    def _pair_index(self) -> dict[tuple[int, int], list[Contact]]:
+        """Per-pair contact lists, built lazily on first query."""
+        if self._by_pair is None:
+            idx: dict[tuple[int, int], list[Contact]] = {}
+            for c in self.contacts:
+                idx.setdefault(c.pair, []).append(c)
+            self._by_pair = idx
+        return self._by_pair
+
     def contacts_of(self, node: int) -> list[Contact]:
-        """All contacts involving ``node``, in time order."""
-        return [c for c in self.contacts if c.involves(node)]
+        """All contacts involving ``node``, in time order.
+
+        O(k) per call after a one-off lazy index build (the contact list
+        is immutable once the trace is constructed).
+        """
+        return list(self._node_index().get(node, ()))
 
     def contacts_between(self, a: int, b: int) -> list[Contact]:
-        """All contacts between the (unordered) pair ``{a, b}``."""
-        lo, hi = min(a, b), max(a, b)
-        return [c for c in self.contacts if c.a == lo and c.b == hi]
+        """All contacts between the (unordered) pair ``{a, b}``, in time
+        order. O(k) per call after a one-off lazy index build."""
+        return list(self._pair_index().get(pair_key(a, b), ()))
 
     def first_contact_at_or_after(self, t: float) -> Contact | None:
         """Earliest contact with ``start >= t``, or None."""

@@ -1,0 +1,434 @@
+"""Vectorized large-population contact extraction.
+
+:func:`repro.mobility.trajectory.contacts_from_trajectories` historically
+solved the below-range quadratic once per overlapping segment pair in pure
+Python — an O(n²·segments) sweep that caps populations at a few dozen nodes.
+This module is the scalable engine behind its default ``engine="fast"`` path:
+
+1. **Packing** — every segment of every trajectory goes into flat NumPy
+   arrays (times, endpoints, owner node), so all later stages are
+   array-at-a-time.
+2. **Broad phase** — segments are split into *pieces* of bounded
+   displacement and hashed into a uniform spatial grid keyed on the
+   piece's midpoint. Within each cell (and its forward half-neighbourhood)
+   a vectorized time-interval sweep joins only the pieces that genuinely
+   coexist in time, so far-apart or non-contemporaneous nodes never reach
+   the quadratic solver. The join is conservative: two nodes within
+   ``comm_range`` at time *t* always occupy pieces in cells at most one
+   apart whose (quantized) time intervals overlap (see
+   :func:`_candidate_segment_pairs`), so no contact can be lost.
+3. **Narrow phase** — the below-range quadratic is evaluated for all
+   surviving segment pairs in batched NumPy, replicating the scalar
+   arithmetic of :func:`~repro.mobility.trajectory._window_below_range`
+   operation-for-operation. Because IEEE-754 addition, multiplication,
+   division and square root are correctly rounded in both scalar Python
+   and NumPy float64, the produced windows are *bit-identical* to the
+   ``engine="exact"`` reference, not merely close.
+
+Per-pair window merging, the encounter cap and the minimum-duration filter
+mirror the scalar fold in
+:func:`~repro.mobility.trajectory._merge_windows`, so the resulting
+:class:`ContactTrace` is exactly the one the reference path builds — only
+faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.contact import Contact, ContactTrace
+
+#: Time-axis quantization of the broad-phase interval sweep. Piece times are
+#: ranked on a 2³¹-step grid over the trace span; the floor quantization is
+#: applied to both interval ends, so an overlap can only be *over*-reported
+#: (extra candidates, discarded exactly by the narrow phase), never missed.
+_TIME_QUANTS = np.int64(1) << 31
+
+#: Forward half-neighbourhood of a grid cell: joining every cell group with
+#: itself and these four offsets visits each adjacent cell pair exactly once.
+_FORWARD_OFFSETS = ((0, 1), (1, -1), (1, 0), (1, 1))
+
+
+def _pack_segments(trajectories):
+    """Flatten all trajectories' segments into parallel float64/int64 arrays."""
+    counts = [len(t.segments) for t in trajectories]
+    node = np.repeat(
+        np.asarray([t.node for t in trajectories], dtype=np.int64), counts
+    )
+    flat = [s for t in trajectories for s in t.segments]
+    t0 = np.asarray([s.t0 for s in flat], dtype=np.float64)
+    t1 = np.asarray([s.t1 for s in flat], dtype=np.float64)
+    x0 = np.asarray([s.x0 for s in flat], dtype=np.float64)
+    y0 = np.asarray([s.y0 for s in flat], dtype=np.float64)
+    x1 = np.asarray([s.x1 for s in flat], dtype=np.float64)
+    y1 = np.asarray([s.y1 for s in flat], dtype=np.float64)
+    return node, t0, t1, x0, y0, x1, y1
+
+
+def _segmented_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated (vectorized)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+
+
+def _sweep_join(
+    group_id: np.ndarray, qlo: np.ndarray, qhi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All position pairs ``(i, j)``, ``i < j``, in the same group with
+    overlapping quantized time intervals.
+
+    Requires the arrays sorted by ``(group_id, qlo)``. Within a group the
+    intervals starting no later than ``qhi[i]`` form a contiguous run after
+    ``i`` (their ``qlo >= qlo[i]`` guarantees the symmetric condition), so
+    each element's partners are read off one ``searchsorted`` bound.
+    """
+    comp_lo = group_id * _TIME_QUANTS + qlo
+    comp_hi = group_id * _TIME_QUANTS + qhi
+    pos = np.arange(group_id.size, dtype=np.int64)
+    cnt = np.searchsorted(comp_lo, comp_hi, side="right") - pos - 1
+    total = int(cnt.sum())
+    if total == 0:
+        return (np.empty(0, dtype=np.int64),) * 2
+    first = np.repeat(pos, cnt)
+    second = np.repeat(pos + 1, cnt) + _segmented_arange(cnt)
+    return first, second
+
+
+def _candidate_segment_pairs(
+    node: np.ndarray,
+    t0: np.ndarray,
+    t1: np.ndarray,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    comm_range: float,
+    *,
+    cell_size: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Broad phase: segment index pairs that *might* come within range.
+
+    Conservative by construction. Every piece has displacement at most
+    ``L`` (the piece cap), so any of its points lies within ``L/2`` of its
+    midpoint. If nodes A and B are within ``comm_range`` at time ``t``,
+    the pieces containing ``t`` have midpoints at most
+    ``L/2 + comm_range + L/2 = L + comm_range`` apart — which is the grid
+    pitch — so their anchor cells differ by at most one per axis, their
+    time intervals share ``t`` (floor quantization preserves interval
+    overlap), and the within-cell or half-neighbourhood sweep emits the
+    pair. No in-range pair is ever pruned.
+    """
+    nseg = t0.size
+    if nseg < 2:
+        return (np.empty(0, dtype=np.int64),) * 2
+
+    tmin = float(t0.min())
+    tmax = float(t1.max())
+    span = max(tmax - tmin, 1e-9)
+    extent = max(
+        float(max(x0.max(), x1.max()) - min(x0.min(), x1.min())),
+        float(max(y0.max(), y1.max()) - min(y0.min(), y1.min())),
+        1e-9,
+    )
+    # Piece displacement cap L; grid pitch L + comm_range (any positive L is
+    # correct — the knob trades pieces against candidate count).
+    L = cell_size if cell_size is not None else max(2.0 * comm_range, extent / 256.0)
+    cell = L + comm_range
+
+    # --- split segments into pieces of displacement <= L --------------------
+    seg_len = np.hypot(x1 - x0, y1 - y0)
+    pieces_per_seg = np.maximum(1, np.ceil(seg_len / L).astype(np.int64))
+    piece_seg = np.repeat(np.arange(nseg, dtype=np.int64), pieces_per_seg)
+    k = pieces_per_seg[piece_seg].astype(np.float64)
+    piece_idx = _segmented_arange(pieces_per_seg)
+    f0 = piece_idx / k
+    f1 = (piece_idx + 1) / k
+    st0, st1 = t0[piece_seg], t1[piece_seg]
+    pt0 = st0 + f0 * (st1 - st0)
+    pt1 = st0 + f1 * (st1 - st0)
+    fm = (f0 + f1) * 0.5
+    ax = x0[piece_seg] + fm * (x1[piece_seg] - x0[piece_seg])
+    ay = y0[piece_seg] + fm * (y1[piece_seg] - y0[piece_seg])
+
+    # anchor cells, +1 shift so neighbour offsets never wrap across rows
+    cx = np.floor(ax / cell).astype(np.int64)
+    cy = np.floor(ay / cell).astype(np.int64)
+    cx -= cx.min() - 1
+    cy -= cy.min() - 1
+    nyp = int(cy.max()) + 2
+    cellkey = cx * nyp + cy
+
+    # quantized piece intervals (floor on both ends: overlap-preserving)
+    scale = float(_TIME_QUANTS - 1) / span
+    qlo = np.clip(((pt0 - tmin) * scale).astype(np.int64), 0, _TIME_QUANTS - 1)
+    qhi = np.clip(((pt1 - tmin) * scale).astype(np.int64), 0, _TIME_QUANTS - 1)
+
+    order = np.lexsort((qlo, cellkey))
+    ck = cellkey[order]
+    ql = qlo[order]
+    qh = qhi[order]
+    pseg = piece_seg[order]
+
+    new_group = np.empty(ck.size, dtype=bool)
+    new_group[0] = True
+    np.not_equal(ck[1:], ck[:-1], out=new_group[1:])
+    group_id = np.cumsum(new_group) - 1
+    starts = np.flatnonzero(new_group)
+    counts = np.diff(np.append(starts, ck.size))
+    uniq = ck[starts]
+
+    pair_parts_a: list[np.ndarray] = []
+    pair_parts_b: list[np.ndarray] = []
+
+    # within-cell: exact interval sweep
+    f_pos, s_pos = _sweep_join(group_id, ql, qh)
+    if f_pos.size:
+        pair_parts_a.append(pseg[f_pos])
+        pair_parts_b.append(pseg[s_pos])
+
+    # forward-neighbour cells: interval sweep over the two groups' union
+    for ox, oy in _FORWARD_OFFSETS:
+        target = uniq + ox * nyp + oy
+        idx = np.searchsorted(uniq, target)
+        idx_c = np.minimum(idx, uniq.size - 1)
+        valid = uniq[idx_c] == target
+        if not valid.any():
+            continue
+        ga = np.flatnonzero(valid)
+        gb = idx_c[ga]
+        ca, cb = counts[ga], counts[gb]
+        usz = ca + cb
+        join_id = np.repeat(np.arange(ga.size, dtype=np.int64), usz)
+        loc = _segmented_arange(usz)
+        ca_rep = np.repeat(ca, usz)
+        from_a = loc < ca_rep
+        pos = np.where(
+            from_a,
+            np.repeat(starts[ga], usz) + loc,
+            np.repeat(starts[gb], usz) + loc - ca_rep,
+        )
+        sub = np.lexsort((ql[pos], join_id))
+        pos = pos[sub]
+        side = from_a[sub]
+        f_pos, s_pos = _sweep_join(join_id, ql[pos], qh[pos])
+        if f_pos.size == 0:
+            continue
+        cross = side[f_pos] != side[s_pos]
+        if cross.any():
+            pair_parts_a.append(pseg[pos[f_pos[cross]]])
+            pair_parts_b.append(pseg[pos[s_pos[cross]]])
+
+    if not pair_parts_a:
+        return (np.empty(0, dtype=np.int64),) * 2
+    a_seg = np.concatenate(pair_parts_a)
+    b_seg = np.concatenate(pair_parts_b)
+
+    # Drop same-node pairs, canonicalise, and de-duplicate across cells.
+    keep = node[a_seg] != node[b_seg]
+    a_seg, b_seg = a_seg[keep], b_seg[keep]
+    pair_code = np.minimum(a_seg, b_seg) * np.int64(nseg) + np.maximum(a_seg, b_seg)
+    pair_code.sort()
+    if pair_code.size:
+        first_seen = np.empty(pair_code.size, dtype=bool)
+        first_seen[0] = True
+        np.not_equal(pair_code[1:], pair_code[:-1], out=first_seen[1:])
+        pair_code = pair_code[first_seen]
+    return pair_code // nseg, pair_code % nseg
+
+
+def _batched_windows(
+    A: np.ndarray,
+    B: np.ndarray,
+    node: np.ndarray,
+    t0: np.ndarray,
+    t1: np.ndarray,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    range_sq: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Narrow phase: below-range windows for candidate segment pairs.
+
+    Replicates :func:`repro.mobility.trajectory._window_below_range`
+    operation-for-operation in float64 so results are bit-identical to the
+    scalar reference. Returns ``(start, end, node_a, node_b)`` arrays with
+    ``node_a < node_b``.
+    """
+    empty = (
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+    ov0 = np.maximum(t0[A], t0[B])
+    ov1 = np.minimum(t1[A], t1[B])
+    m = ov1 > ov0
+    A, B, ov0, ov1 = A[m], B[m], ov0[m], ov1[m]
+    if A.size == 0:
+        return empty
+
+    # positions at the overlap start (Segment.position arithmetic)
+    sa = (ov0 - t0[A]) / (t1[A] - t0[A])
+    ax = x0[A] + sa * (x1[A] - x0[A])
+    ay = y0[A] + sa * (y1[A] - y0[A])
+    sb = (ov0 - t0[B]) / (t1[B] - t0[B])
+    bx = x0[B] + sb * (x1[B] - x0[B])
+    by = y0[B] + sb * (y1[B] - y0[B])
+    # relative velocity (Segment.vx / .vy arithmetic)
+    dvx = (x1[A] - x0[A]) / (t1[A] - t0[A]) - (x1[B] - x0[B]) / (t1[B] - t0[B])
+    dvy = (y1[A] - y0[A]) / (t1[A] - t0[A]) - (y1[B] - y0[B]) / (t1[B] - t0[B])
+    dx = ax - bx
+    dy = ay - by
+
+    a = dvx * dvx + dvy * dvy
+    b = 2.0 * (dx * dvx + dy * dvy)
+    c = dx * dx + dy * dy - range_sq
+    span = ov1 - ov0
+
+    const = a < 1e-15  # no relative motion: distance constant
+    starts_parts: list[np.ndarray] = []
+    ends_parts: list[np.ndarray] = []
+    na_parts: list[np.ndarray] = []
+    nb_parts: list[np.ndarray] = []
+
+    mc = const & (c <= 0.0)
+    if mc.any():
+        starts_parts.append(ov0[mc])
+        ends_parts.append(ov1[mc])
+        na_parts.append(node[A[mc]])
+        nb_parts.append(node[B[mc]])
+
+    mq = ~const
+    if mq.any():
+        aq, bq, cq = a[mq], b[mq], c[mq]
+        disc = bq * bq - 4.0 * aq * cq
+        pos = disc >= 0.0
+        if pos.any():
+            aq, bq = aq[pos], bq[pos]
+            sqrt_disc = np.sqrt(disc[pos])
+            s_lo = (-bq - sqrt_disc) / (2.0 * aq)
+            s_hi = (-bq + sqrt_disc) / (2.0 * aq)
+            lo = np.maximum(s_lo, 0.0)
+            hi = np.minimum(s_hi, span[mq][pos])
+            ok = hi > lo
+            if ok.any():
+                base = ov0[mq][pos][ok]
+                starts_parts.append(base + lo[ok])
+                ends_parts.append(base + hi[ok])
+                na_parts.append(node[A[mq][pos][ok]])
+                nb_parts.append(node[B[mq][pos][ok]])
+
+    if not starts_parts:
+        return empty
+    starts = np.concatenate(starts_parts)
+    ends = np.concatenate(ends_parts)
+    na = np.concatenate(na_parts)
+    nb_ = np.concatenate(nb_parts)
+    swap = na > nb_
+    na, nb_ = np.where(swap, nb_, na), np.where(swap, na, nb_)
+    return starts, ends, na, nb_
+
+
+def _fold_contacts(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    na: np.ndarray,
+    nb_: np.ndarray,
+    *,
+    contact_cap: float | None,
+    min_duration: float,
+) -> list[Contact]:
+    """Merge per-pair windows and emit contacts in (start, end, a, b) order.
+
+    One pass over the windows sorted by (pair, start, end) — the same
+    order and fold as :func:`~repro.mobility.trajectory._merge_windows`
+    (gap 1e-9), followed by the scalar path's cap and minimum-duration
+    filter, so the emitted contacts are identical to the reference. The
+    final numeric pre-sort means :class:`ContactTrace`'s own ``sorted()``
+    sees already-ordered data instead of comparing dataclasses pairwise.
+    """
+    if starts.size == 0:
+        return []
+    order = np.lexsort((ends, starts, nb_, na))
+    s_l = starts[order].tolist()
+    e_l = ends[order].tolist()
+    a_l = na[order].tolist()
+    b_l = nb_[order].tolist()
+
+    out_s: list[float] = []
+    out_e: list[float] = []
+    out_a: list[int] = []
+    out_b: list[int] = []
+
+    def emit(i: int, j: int, s: float, e: float) -> None:
+        if contact_cap is not None:
+            e = min(e, s + contact_cap)
+        if e - s >= min_duration:
+            out_s.append(s)
+            out_e.append(e)
+            out_a.append(i)
+            out_b.append(j)
+
+    cur_a, cur_b = a_l[0], b_l[0]
+    cur_s, cur_e = s_l[0], e_l[0]
+    for s, e, i, j in zip(s_l[1:], e_l[1:], a_l[1:], b_l[1:]):
+        if i == cur_a and j == cur_b and s <= cur_e + 1e-9:
+            if e > cur_e:
+                cur_e = e
+        else:
+            emit(cur_a, cur_b, cur_s, cur_e)
+            cur_a, cur_b, cur_s, cur_e = i, j, s, e
+    emit(cur_a, cur_b, cur_s, cur_e)
+
+    final = np.lexsort(
+        (np.asarray(out_b), np.asarray(out_a), np.asarray(out_e), np.asarray(out_s))
+    )
+    return [
+        Contact(start=out_s[k], end=out_e[k], a=out_a[k], b=out_b[k])
+        for k in final.tolist()
+    ]
+
+
+def extract_contacts_fast(
+    trajectories,
+    comm_range: float,
+    *,
+    contact_cap: float | None = 500.0,
+    min_duration: float = 1.0,
+    horizon: float | None = None,
+    name: str = "",
+    cell_size: float | None = None,
+) -> ContactTrace:
+    """Vectorized equivalent of the scalar ``engine="exact"`` extraction.
+
+    Prefer calling
+    :func:`repro.mobility.trajectory.contacts_from_trajectories` (which
+    validates inputs and dispatches here by default); this entry point
+    exposes the broad-phase tuning knob for benchmarks.
+
+    Args:
+        cell_size: Override the broad-phase piece displacement cap in
+            metres (grid pitch is ``cell_size + comm_range``; default
+            ``max(2 * comm_range, extent / 256)``). Any positive value
+            yields the same contacts — the knob trades hash table size
+            against candidate pair count, never correctness.
+    """
+    n = len(trajectories)
+    node, t0, t1, x0, y0, x1, y1 = _pack_segments(trajectories)
+    A, B = _candidate_segment_pairs(
+        node, t0, t1, x0, y0, x1, y1, comm_range, cell_size=cell_size
+    )
+    starts, ends, na, nb_ = _batched_windows(
+        A, B, node, t0, t1, x0, y0, x1, y1, comm_range * comm_range
+    )
+    contacts = _fold_contacts(
+        starts, ends, na, nb_, contact_cap=contact_cap, min_duration=min_duration
+    )
+    if horizon is None:
+        horizon = max(t.end_time for t in trajectories)
+    horizon = max(horizon, max((c.end for c in contacts), default=0.0))
+    return ContactTrace(contacts, n, horizon=horizon, name=name)

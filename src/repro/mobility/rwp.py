@@ -1,8 +1,11 @@
 """Random-Way-Point mobility models.
 
 Two variants are provided, both emitting a
-:class:`~repro.mobility.contact.ContactTrace` through the exact geometric
-detector in :mod:`repro.mobility.trajectory`:
+:class:`~repro.mobility.contact.ContactTrace` through the geometric
+contact detector — the vectorized engine in
+:mod:`repro.mobility.fastcontact` by default, or the scalar reference in
+:mod:`repro.mobility.trajectory` via ``engine="exact"`` (identical
+output):
 
 * :class:`SubscriberPointRWP` — the paper's modified RWP (Section IV). Nodes
   hop between at most 100 fixed *subscriber points* inside a 1 km² area,
@@ -18,12 +21,17 @@ detector in :mod:`repro.mobility.trajectory`:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.mobility.contact import ContactTrace
-from repro.mobility.trajectory import Segment, Trajectory, contacts_from_trajectories
+from repro.mobility.trajectory import (
+    CONTACT_ENGINES,
+    Segment,
+    Trajectory,
+    contacts_from_trajectories,
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +55,9 @@ class RWPConfig:
         max_speed: Speed ceiling in m/s (paper: 10 m/s).
         max_hop_distance: Subscriber points further apart than this are not
             chosen as consecutive waypoints (paper: < 1000 m).
+        engine: Contact-extraction engine — ``"fast"`` (vectorized,
+            default) or ``"exact"`` (scalar reference); both produce
+            identical traces (see :mod:`repro.mobility.fastcontact`).
     """
 
     num_nodes: int = 12
@@ -60,8 +71,14 @@ class RWPConfig:
     max_travel_time: float = 900.0
     max_speed: float = 10.0
     max_hop_distance: float = 1_000.0
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.engine not in CONTACT_ENGINES:
+            raise ValueError(
+                f"unknown contact engine {self.engine!r}; "
+                f"available: {', '.join(CONTACT_ENGINES)}"
+            )
         if self.num_nodes < 2:
             raise ValueError("num_nodes must be >= 2")
         if self.horizon <= 0:
@@ -163,6 +180,7 @@ class SubscriberPointRWP:
             contact_cap=c.contact_cap,
             horizon=c.horizon,
             name=f"rwp-subscriber(seed={self.seed})",
+            engine=c.engine,
         )
 
     def generate_trajectories(self) -> list[Trajectory]:
@@ -181,7 +199,11 @@ class SubscriberPointRWP:
 
 @dataclass(frozen=True)
 class ClassicRWPConfig:
-    """Parameters for the textbook RWP model."""
+    """Parameters for the textbook RWP model.
+
+    ``engine`` selects the contact-extraction path exactly as in
+    :class:`RWPConfig`.
+    """
 
     num_nodes: int = 12
     horizon: float = 600_000.0
@@ -191,8 +213,14 @@ class ClassicRWPConfig:
     min_speed: float = 0.5
     max_speed: float = 10.0
     max_pause: float = 120.0
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.engine not in CONTACT_ENGINES:
+            raise ValueError(
+                f"unknown contact engine {self.engine!r}; "
+                f"available: {', '.join(CONTACT_ENGINES)}"
+            )
         if self.min_speed <= 0:
             # min_speed == 0 reproduces the Resta & Santi decay pathology the
             # paper warns about; forbid it instead of silently degrading.
@@ -253,4 +281,5 @@ class ClassicRWP:
             contact_cap=c.contact_cap,
             horizon=c.horizon,
             name=f"rwp-classic(seed={self.seed})",
+            engine=c.engine,
         )

@@ -13,11 +13,11 @@ Used three ways:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mobility.contact import ContactTrace, pair_key
+from repro.mobility.contact import ContactTrace
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,11 @@ whom, when, for how long — so this generator exercises exactly the code
 paths the real dataset would. The adapter in
 :mod:`repro.mobility.trace_file` loads the genuine dataset unchanged when
 available.
+
+Unlike the trajectory-based models in :mod:`repro.mobility.rwp`, this
+generator draws encounters directly from the renewal process — there is no
+geometric contact detection, hence no ``engine`` knob: the per-pair draws
+are already vectorised and scale linearly in the number of active pairs.
 """
 
 from __future__ import annotations

@@ -60,10 +60,12 @@ def write_contact_trace(trace: ContactTrace, dest: str | Path | TextIO) -> None:
         if trace.name:
             stream.write(f"# name: {trace.name}\n")
         stream.write(f"nodes {trace.num_nodes}\n")
-        stream.write(f"horizon {trace.horizon!r}\n")
+        # float() normalises NumPy scalars that mobility generators may
+        # leave in contact fields (np.float64 repr is not parseable here).
+        stream.write(f"horizon {float(trace.horizon)!r}\n")
         stream.write("# a b start end\n")
         for c in trace.contacts:
-            stream.write(f"{c.a} {c.b} {c.start!r} {c.end!r}\n")
+            stream.write(f"{int(c.a)} {int(c.b)} {float(c.start)!r} {float(c.end)!r}\n")
     finally:
         if close:
             stream.close()

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.mobility.contact import Contact, ContactTrace
+from repro.mobility.fastcontact import extract_contacts_fast
 
 
 @dataclass(frozen=True, slots=True)
@@ -175,6 +176,10 @@ def pair_contact_windows(
     return _merge_windows(windows)
 
 
+#: Contact-extraction engines accepted by :func:`contacts_from_trajectories`.
+CONTACT_ENGINES = ("fast", "exact")
+
+
 def contacts_from_trajectories(
     trajectories: Sequence[Trajectory],
     comm_range: float,
@@ -183,6 +188,7 @@ def contacts_from_trajectories(
     min_duration: float = 1.0,
     horizon: float | None = None,
     name: str = "",
+    engine: str = "fast",
 ) -> ContactTrace:
     """Extract the full contact trace from a set of trajectories.
 
@@ -192,15 +198,35 @@ def contacts_from_trajectories(
             (the paper caps encounters at 500 s); None disables.
         min_duration: Discard encounters shorter than this.
         horizon: Trace horizon; defaults to the latest trajectory end.
+        engine: ``"fast"`` (default) uses the vectorized broad/narrow-phase
+            detector in :mod:`repro.mobility.fastcontact`; ``"exact"`` is
+            the scalar per-pair reference sweep. Both produce bit-identical
+            traces — ``"exact"`` exists as the independent oracle the fast
+            path is validated against.
 
     Returns:
         A validated :class:`ContactTrace` over ``len(trajectories)`` nodes
         (node ids must be 0..n-1).
     """
+    if comm_range <= 0:
+        raise ValueError("comm_range must be positive")
+    if engine not in CONTACT_ENGINES:
+        raise ValueError(
+            f"unknown contact engine {engine!r}; available: {', '.join(CONTACT_ENGINES)}"
+        )
     n = len(trajectories)
     ids = sorted(t.node for t in trajectories)
     if ids != list(range(n)):
         raise ValueError(f"trajectory node ids must be 0..{n - 1}, got {ids}")
+    if engine == "fast":
+        return extract_contacts_fast(
+            trajectories,
+            comm_range,
+            contact_cap=contact_cap,
+            min_duration=min_duration,
+            horizon=horizon,
+            name=name,
+        )
     by_id = {t.node: t for t in trajectories}
     contacts: list[Contact] = []
     for i in range(n):

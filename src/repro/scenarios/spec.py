@@ -196,7 +196,10 @@ class MobilitySpec:
             ``classic_rwp``, ``interval``, ``trace_file``, or any kind added
             via :func:`register_mobility`).
         params: Keyword parameters for the kind's builder (e.g. the fields
-            of :class:`~repro.mobility.rwp.RWPConfig` for ``rwp``).
+            of :class:`~repro.mobility.rwp.RWPConfig` for ``rwp``; that
+            includes the contact-extraction ``engine`` knob — fast or
+            exact — for the trajectory-based kinds, so scenario files can
+            pin the reference detector).
         seed: Fixed generation seed; ``None`` (default) inherits the seed
             the caller builds with (for a scenario: the scenario seed).
     """

@@ -1,7 +1,5 @@
 """Exact metric accumulation."""
 
-import math
-
 import pytest
 
 from repro.core.bundle import BundleId

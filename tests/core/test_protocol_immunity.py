@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.bundle import BundleId
 from repro.core.protocols.base import ControlMessage
-from tests.helpers import CHAIN_ROWS, bundle, make_node, run_micro, stored
+from tests.helpers import bundle, make_node, run_micro, stored
 
 
 class TestImmunity:

@@ -1,7 +1,5 @@
 """Constant and dynamic TTL protocols."""
 
-import math
-
 import pytest
 
 from repro.core.bundle import NO_EXPIRY

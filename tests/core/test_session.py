@@ -1,6 +1,5 @@
 """Contact session semantics: capacity, ordering, priority."""
 
-import pytest
 
 from repro.core.protocols import make_protocol_config
 from repro.core.simulation import Simulation, SimulationConfig

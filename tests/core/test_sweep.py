@@ -52,7 +52,6 @@ class TestRunSweep:
         by_cell_pure = {}
         by_cell_ec = {}
         for r in result.runs:
-            key = (r.load, r.source, r.destination)
             (by_cell_pure if r.protocol == "pure" else by_cell_ec).setdefault(
                 r.load, []
             ).append((r.source, r.destination))

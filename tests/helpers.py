@@ -8,7 +8,7 @@ tests that need to poke a hook in isolation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.core.protocols.registry import ProtocolConfig, make_protocol_config
 from repro.core.results import RunResult
 from repro.core.simulation import Simulation, SimulationConfig
 from repro.core.workload import Flow
-from repro.mobility.contact import Contact, ContactTrace
+from repro.mobility.contact import ContactTrace
 
 
 def micro_trace(

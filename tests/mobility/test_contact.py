@@ -86,6 +86,34 @@ class TestContactTrace:
         assert t.first_contact_at_or_after(100.0) is None
         assert t.total_contact_time() == 10.0 + 3.0 + 15.0
 
+    def test_query_indexes_lazy_and_consistent(self):
+        t = self._trace()
+        assert t._by_node is None and t._by_pair is None  # built on demand
+        by_node = t.contacts_of(1)
+        assert t._by_node is not None
+        assert [c.start for c in by_node] == [5.0, 10.0]
+        assert t.contacts_of(0) == [c for c in t.contacts if c.involves(0)]
+        assert t.contacts_of(99) == []
+        between = t.contacts_between(2, 0)
+        assert t._by_pair is not None
+        assert between == [c for c in t.contacts if c.pair == (0, 2)]
+        assert t.contacts_between(0, 0) == []  # no self-pairs in any trace
+
+    def test_query_results_are_fresh_lists(self):
+        t = self._trace()
+        first = t.contacts_of(0)
+        first.clear()  # caller mutation must not corrupt the index
+        assert [c.start for c in t.contacts_of(0)] == [10.0, 30.0]
+        pair = t.contacts_between(0, 1)
+        pair.clear()
+        assert len(t.contacts_between(1, 0)) == 1
+
+    def test_indexed_trace_still_compares_equal(self):
+        a, b = self._trace(), self._trace()
+        a.contacts_of(0)
+        a.contacts_between(0, 1)
+        assert a == b  # lazy indexes are excluded from equality
+
     def test_window_rebases(self):
         t = self._trace()
         w = t.window(5.0, 25.0)

@@ -1,6 +1,5 @@
 """Synthetic campus trace generator (the CRAWDAD substitute)."""
 
-import numpy as np
 import pytest
 
 from repro.mobility.stats import compute_trace_stats, heavy_tail_index, per_pair_gaps

@@ -41,6 +41,16 @@ class TestParser:
         assert build_parser().parse_args(["run", "fig13", "--jobs", "4"]).jobs == 4
         assert build_parser().parse_args(["run-scenario", "s.json", "--jobs", "2"]).jobs == 2
 
+    def test_trace_engine_knob(self):
+        args = build_parser().parse_args(["trace", "rwp", "--out", "x"])
+        assert args.engine is None and args.nodes == 12  # None -> fast
+        args = build_parser().parse_args(
+            ["trace", "rwp", "--engine", "exact", "--nodes", "30", "--out", "x"]
+        )
+        assert args.engine == "exact" and args.nodes == 30
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "rwp", "--engine", "bogus", "--out", "x"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -78,6 +88,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "num_contacts" in out
         assert "intercontact_pair_median" in out
+
+    def test_trace_engines_write_identical_files(self, tmp_path, capsys):
+        fast_path = tmp_path / "fast.trace"
+        exact_path = tmp_path / "exact.trace"
+        common = ["trace", "classic-rwp", "--seed", "4", "--nodes", "6"]
+        assert main(common + ["--engine", "fast", "--out", str(fast_path)]) == 0
+        assert main(common + ["--engine", "exact", "--out", str(exact_path)]) == 0
+        capsys.readouterr()
+        assert fast_path.read_text() == exact_path.read_text()
+
+    def test_trace_campus_honours_nodes_and_rejects_engine(self, tmp_path, capsys):
+        path = tmp_path / "campus.trace"
+        assert main(["trace", "campus", "--nodes", "6", "--out", str(path)]) == 0
+        assert "6 nodes" in capsys.readouterr().out
+        code = main(
+            ["trace", "campus", "--engine", "fast", "--out", str(tmp_path / "x")]
+        )
+        assert code == 2
+        assert "--engine" in capsys.readouterr().err
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

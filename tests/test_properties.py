@@ -8,7 +8,6 @@ consistent, determinism in the seed.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.protocols import make_protocol_config
