@@ -57,6 +57,7 @@ from repro.core import (
     Bundle,
     BundleId,
     Cell,
+    DropPolicy,
     Executor,
     Flow,
     ParallelExecutor,
@@ -67,7 +68,10 @@ from repro.core import (
     SimulationConfig,
     SweepConfig,
     SweepResult,
+    drop_policy_names,
+    make_drop_policy,
     make_executor,
+    register_drop_policy,
     run_single,
     run_sweep,
     single_flow,
@@ -124,6 +128,11 @@ __all__ = [
     "single_flow",
     "PAPER_LOADS",
     "PAPER_REPLICATIONS",
+    # buffer drop policies
+    "DropPolicy",
+    "drop_policy_names",
+    "make_drop_policy",
+    "register_drop_policy",
     # executors
     "Cell",
     "Executor",

@@ -18,6 +18,7 @@ METRIC_ACCESSORS: dict[str, Callable[[RunResult], float | None]] = {
     "delay": lambda r: r.delay,
     "delivery_ratio": lambda r: r.delivery_ratio,
     "buffer_occupancy": lambda r: r.buffer_occupancy,
+    "peak_occupancy": lambda r: r.peak_occupancy,
     "duplication_rate": lambda r: r.duplication_rate,
     "signaling_overhead": lambda r: float(r.signaling_overhead),
 }
@@ -27,6 +28,7 @@ METRIC_AXIS_LABELS: dict[str, str] = {
     "delay": "Average delay (s)",
     "delivery_ratio": "Average delivery ratio",
     "buffer_occupancy": "Average buffer occupancy level",
+    "peak_occupancy": "Peak buffer occupancy level",
     "duplication_rate": "Average bundle duplication rate",
     "signaling_overhead": "Control units transmitted",
 }

@@ -1,17 +1,25 @@
-"""The paper's tables.
+"""The paper's tables, plus the buffer-contention tradeoff table.
 
 * **Table I** — the survey of experiment parameters used by prior epidemic
   routing studies (static data, reproduced for completeness and used as
   the bound-check reference for our own configurations).
 * **Table II** — per-protocol whole-sweep means of delivery rate, buffer
   occupancy level and duplication rate, for both mobility models.
+* **Tradeoff table** — capacity × drop-policy grid of delivery ratio,
+  mean/peak occupancy and drop counts per protocol (the
+  occupancy/delivery tradeoff study; see
+  :mod:`repro.experiments.tradeoff`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.results import SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.tradeoff import TradeoffStudy
 
 #: Table I of the paper: parameters used in studies [10]-[13].
 TABLE1_ROWS: list[tuple[str, str]] = [
@@ -91,6 +99,111 @@ def build_table2(
             )
         )
     return rows
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    """One (capacity, policy, protocol) cell of the tradeoff study."""
+
+    capacity: str  #: capacity label ("10" or "per-node[...]")
+    policy: str
+    protocol_label: str
+    delivery_ratio: float  #: sweep mean
+    buffer_occupancy: float  #: sweep mean of the time-averaged fill
+    peak_occupancy: float  #: sweep mean of the per-run peak fill
+    drops: float  #: mean buffer-pressure evictions per run
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "protocol": self.protocol_label,
+            "delivery_pct": 100 * self.delivery_ratio,
+            "buffer_pct": 100 * self.buffer_occupancy,
+            "peak_pct": 100 * self.peak_occupancy,
+            "drops": self.drops,
+        }
+
+
+def build_tradeoff_table(study: "TradeoffStudy") -> list[TradeoffRow]:
+    """Flatten a tradeoff study into (capacity, policy, protocol) rows.
+
+    Row order is the study's grid order: capacity, then policy, then
+    protocol — the ``reject`` rows of each capacity come first when the
+    study uses the default policy order.
+    """
+    rows: list[TradeoffRow] = []
+    for cap_label in study.capacity_labels:
+        for policy in study.policies:
+            sweep = study.sweep(cap_label, policy)
+            for label in sweep.protocols():
+                means = sweep.protocol_means(label)
+                rows.append(
+                    TradeoffRow(
+                        capacity=cap_label,
+                        policy=policy,
+                        protocol_label=label,
+                        delivery_ratio=means["delivery_ratio"],
+                        buffer_occupancy=means["buffer_occupancy"],
+                        peak_occupancy=means["peak_occupancy"],
+                        drops=means["drops"],
+                    )
+                )
+    return rows
+
+
+def render_tradeoff_table(study: "TradeoffStudy") -> str:
+    """The tradeoff study as aligned text, one block per protocol.
+
+    Each block is a capacity × policy matrix of
+    ``delivery% / occupancy% / peak%`` triples (drops appended when any
+    occurred), so the occupancy cost of each delivery gain reads across
+    one row.
+    """
+    rows = build_tradeoff_table(study)
+    if not rows:
+        raise ValueError("no rows to render")
+    policies = study.policies
+    cap_labels = study.capacity_labels
+    by_key = {(r.capacity, r.policy, r.protocol_label): r for r in rows}
+    protocols: list[str] = []
+    for r in rows:
+        if r.protocol_label not in protocols:
+            protocols.append(r.protocol_label)
+
+    def cell_text(r: TradeoffRow) -> str:
+        text = (
+            f"{100 * r.delivery_ratio:.1f}/"
+            f"{100 * r.buffer_occupancy:.1f}/"
+            f"{100 * r.peak_occupancy:.1f}"
+        )
+        if r.drops:
+            text += f" d={r.drops:.1f}"
+        return text
+
+    cap_w = max(len("capacity"), max(len(c) for c in cap_labels))
+    col_w = max(
+        len(p) for p in policies
+    )
+    col_w = max(col_w, max(len(cell_text(r)) for r in rows))
+    lines = [
+        "Tradeoff Table — occupancy vs delivery under capacity x drop policy "
+        "(delivery% / occupancy% / peak%, sweep means)",
+    ]
+    for proto in protocols:
+        lines.append("")
+        lines.append(f"Protocol: {proto}")
+        header = f"{'capacity':<{cap_w}} | " + " | ".join(
+            f"{p:>{col_w}}" for p in policies
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for cap in cap_labels:
+            cells = [
+                f"{cell_text(by_key[(cap, pol, proto)]):>{col_w}}" for pol in policies
+            ]
+            lines.append(f"{cap:<{cap_w}} | " + " | ".join(cells))
+    return "\n".join(lines)
 
 
 def render_table2(rows: list[Table2Row]) -> str:

@@ -18,6 +18,7 @@ to a serial run.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import re
 import sys
 import time
@@ -27,6 +28,7 @@ from repro.analysis.ascii_plot import render_plot, render_series_table
 from repro.analysis.figures import FigureData
 from repro.analysis.io import write_runs_csv, write_series_csv, write_series_json
 from repro.core.executors import make_executor
+from repro.core.policies import drop_policy_names
 from repro.experiments.registry import get_experiment, iter_experiments
 from repro.experiments.runner import SCALES, ExperimentRunner
 from repro.mobility.rwp import ClassicRWP, ClassicRWPConfig, RWPConfig, SubscriberPointRWP
@@ -105,6 +107,13 @@ _SCENARIO_METRICS = (
 
 def _cmd_run_scenario(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.load(args.file)
+    overrides: dict[str, object] = {}
+    if args.drop_policy is not None:
+        overrides["drop_policy"] = args.drop_policy
+    if args.buffer_capacity is not None:
+        overrides["buffer_capacity"] = args.buffer_capacity
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
     label = spec.name or Path(args.file).stem
     t0 = time.time()
     result = spec.run(
@@ -192,6 +201,19 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _capacity_arg(text: str) -> int | tuple[int, ...]:
+    """Parse ``--buffer-capacity``: one int, or a per-node comma list."""
+    try:
+        parts = tuple(int(p) for p in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or comma-separated integers, got {text!r}"
+        ) from None
+    if any(p < 1 for p in parts):
+        raise argparse.ArgumentTypeError("capacities must be >= 1")
+    return parts[0] if len(parts) == 1 else parts
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -242,6 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_scenario.add_argument("file", help="scenario JSON (see repro.scenarios)")
     p_scenario.add_argument("--out", default=None, help="directory for CSV/JSON exports")
     p_scenario.add_argument("--verbose", action="store_true", help="progress on stderr")
+    p_scenario.add_argument(
+        "--drop-policy",
+        choices=drop_policy_names(),
+        default=None,
+        help="override the scenario's buffer drop policy",
+    )
+    p_scenario.add_argument(
+        "--buffer-capacity",
+        type=_capacity_arg,
+        default=None,
+        metavar="N[,N...]",
+        help="override relay capacity: one value, or a per-node comma list",
+    )
     p_scenario.set_defaults(func=_cmd_run_scenario)
 
     p_trace = sub.add_parser("trace", help="generate a mobility trace file")

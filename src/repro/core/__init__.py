@@ -4,6 +4,7 @@ Everything needed to run one protocol on one mobility input and measure the
 paper's four metrics lives here:
 
 * data plane: :mod:`~repro.core.bundle`, :mod:`~repro.core.buffer`,
+  :mod:`~repro.core.policies` (pluggable buffer drop policies),
   :mod:`~repro.core.node`
 * policy plane: :mod:`~repro.core.protocols` (the 5 baselines and 3
   enhancements)
@@ -32,6 +33,12 @@ from repro.core.bundle import (
 )
 from repro.core.metrics import MetricsCollector, TimeWeightedAccumulator
 from repro.core.node import EncounterHistory, Node
+from repro.core.policies import (
+    DropPolicy,
+    drop_policy_names,
+    make_drop_policy,
+    register_drop_policy,
+)
 from repro.core.results import RunResult, Series, SeriesPoint, SweepResult
 from repro.core.session import ContactSession
 from repro.core.simulation import Simulation, SimulationConfig
@@ -60,6 +67,10 @@ __all__ = [
     "make_flow_bundles",
     "BufferFullError",
     "RelayStore",
+    "DropPolicy",
+    "drop_policy_names",
+    "make_drop_policy",
+    "register_drop_policy",
     "Node",
     "EncounterHistory",
     "MetricsCollector",

@@ -11,8 +11,15 @@ Two stores per node, mirroring how the paper's setup is self-consistent:
   copies are never *evicted*, but TTL-based protocols do *expire* them
   (the premature-discard failure mode of Figs 13–14).
 
-The store is mechanism-only: eviction/acceptance *policy* lives in the
-protocol implementations.
+The store is mechanism-only: eviction/acceptance *policy* lives above it.
+When a full store receives a new copy, the protocol layer consults the
+node's configured :class:`~repro.core.policies.DropPolicy` (``reject``,
+``drop-tail``, ``drop-oldest``, ``drop-youngest``, ``drop-random``) to rank
+an eviction victim — see :mod:`repro.core.policies`; protocols with an
+intrinsic replacement rule (EC's highest-encounter-count eviction, exposed
+here as :meth:`RelayStore.max_ec_entry`) bypass that delegation. Capacity
+may differ per node (heterogeneous populations): each node's store is
+constructed with its own ``capacity``.
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ Metrics recorded per run:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.bundle import BundleId
 
@@ -126,11 +127,34 @@ class RemovalCounters:
 class MetricsCollector:
     """Per-run metric state, driven by the simulation's mutation hooks."""
 
-    def __init__(self, num_nodes: int, buffer_capacity: int) -> None:
+    def __init__(self, num_nodes: int, buffer_capacity: "int | Sequence[int]") -> None:
         self.num_nodes = num_nodes
         self.buffer_capacity = buffer_capacity
+        if isinstance(buffer_capacity, int):
+            self.total_capacity = num_nodes * buffer_capacity
+        else:
+            if len(buffer_capacity) != num_nodes:
+                raise ValueError(
+                    f"per-node buffer_capacity has {len(buffer_capacity)} entries "
+                    f"for {num_nodes} nodes"
+                )
+            self.total_capacity = sum(buffer_capacity)
         self._occupancy = TimeWeightedAccumulator()  # total used slots, all nodes
         self._control_storage = TimeWeightedAccumulator()  # table slots, all nodes
+        #: highest instantaneous population-wide fill fraction observed.
+        #: Can exceed 1.0 for table-storing protocols: stored immunity
+        #: tables / anti-packets add fractional slots on top of a full
+        #: relay buffer (the paper's shared-storage model does not bound
+        #: table state by the bundle capacity).
+        self.peak_occupancy = 0.0
+        #: (time, fill fraction) at every occupancy change — piecewise
+        #: constant between entries, one entry per buffer/control-storage
+        #: delta. Read it off the collector of a directly-driven
+        #: :class:`~repro.core.simulation.Simulation`; sweep RunResults
+        #: carry only the scalars (mean + peak) distilled from it.
+        self.occupancy_series: list[tuple[float, float]] = []
+        #: evictions under buffer pressure, by drop-policy name
+        self.drops: dict[str, int] = {}
         self._copies: dict[BundleId, TimeWeightedAccumulator] = {}
         self._copy_counts: dict[BundleId, int] = {}
         self._born_at: dict[BundleId, float] = {}
@@ -146,29 +170,39 @@ class MetricsCollector:
 
     # ----------------------------------------------------------- occupancy
 
+    def _note_fill(self, now: float) -> None:
+        fill = (self._occupancy.value + self._control_storage.value) / self.total_capacity
+        if fill > self.peak_occupancy:
+            self.peak_occupancy = fill
+        if self.occupancy_series and self.occupancy_series[-1][0] == now:
+            self.occupancy_series[-1] = (now, fill)
+        else:
+            self.occupancy_series.append((now, fill))
+
     def on_buffer_delta(self, delta_slots: int, now: float) -> None:
         """A relay buffer gained/lost ``delta_slots`` copies at ``now``."""
         self._occupancy.add(float(delta_slots), now)
+        self._note_fill(now)
 
     def on_control_storage_delta(self, delta_slots: float, now: float) -> None:
         """A node's stored control state changed by ``delta_slots`` slots."""
         self._control_storage.add(delta_slots, now)
+        self._note_fill(now)
 
     def mean_buffer_occupancy(self, now: float) -> float:
         """Time-averaged mean fill fraction across all nodes in [0, now].
 
         Includes fractional slots consumed by stored immunity tables /
-        anti-packets.
+        anti-packets. With heterogeneous capacities this is the
+        population-wide used/total slot fraction.
         """
-        total_slots = self.num_nodes * self.buffer_capacity
         return (
             self._occupancy.mean(now) + self._control_storage.mean(now)
-        ) / total_slots
+        ) / self.total_capacity
 
     def mean_control_storage(self, now: float) -> float:
         """Time-averaged table-storage fraction alone (diagnostics)."""
-        total_slots = self.num_nodes * self.buffer_capacity
-        return self._control_storage.mean(now) / total_slots
+        return self._control_storage.mean(now) / self.total_capacity
 
     # ---------------------------------------------------------- duplication
 
@@ -253,3 +287,7 @@ class MetricsCollector:
 
     def on_removal(self, reason: str) -> None:
         self.removals.add(reason)
+
+    def on_policy_drop(self, policy: str) -> None:
+        """A drop policy evicted a stored copy under buffer pressure."""
+        self.drops[policy] = self.drops.get(policy, 0) + 1

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.buffer import RelayStore
 from repro.core.bundle import Bundle, BundleId, StoredBundle
+from repro.core.policies import DropPolicy, RejectPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.protocols.base import Protocol
@@ -71,9 +72,18 @@ class NodeCounters:
 class Node:
     """One DTN device: stores, history, counters, and a protocol."""
 
-    def __init__(self, node_id: int, buffer_capacity: int) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        buffer_capacity: int,
+        *,
+        drop_policy: DropPolicy | None = None,
+    ) -> None:
         self.id = node_id
         self.relay = RelayStore(buffer_capacity)
+        #: buffer drop policy consulted by the protocol when the relay
+        #: store is full (``reject`` = historical refuse-incoming default)
+        self.drop_policy: DropPolicy = drop_policy or RejectPolicy()
         self.origin: dict[BundleId, StoredBundle] = {}
         self.delivered: dict[BundleId, float] = {}
         self.history = EncounterHistory()

@@ -1,0 +1,219 @@
+"""Pluggable buffer drop policies — what happens when a relay buffer is full.
+
+The paper's buffer-contention results (Figs 13-14: 10 relay slots vs up to
+50 offered bundles) all assume one fixed acceptance rule: a full buffer
+refuses the incoming copy. Real DTN stacks expose the queue policy as a
+knob (ns-3's epidemic implementation, Rohrer & Mauldin, arXiv:1805.10539),
+and the occupancy/delivery tradeoff literature (Chen et al.,
+arXiv:1601.06345) sweeps exactly this axis. This module makes the rule a
+first-class, registered *mechanism* that the protocol layer consults
+instead of hard-coding drop-tail:
+
+* ``reject`` — never evict; a full buffer refuses the incoming copy. This
+  is the historical behaviour and the default everywhere, so existing
+  results are reproduced bit-for-bit. (Classic networking calls refusing
+  the arrival "drop-tail" — here that behaviour is ``reject``.)
+* ``drop-tail`` — evict the most recently *stored* copy (the tail of the
+  insertion-ordered queue) to admit the incoming one. Unlike ``reject``,
+  the arrival is always admitted.
+* ``drop-oldest`` — evict the copy whose bundle was *created* longest ago
+  (ns-3's DropHead / "drop least recently generated" rule: old bundles
+  have had the most spreading opportunities).
+* ``drop-youngest`` — evict the copy whose bundle was created most
+  recently (protects old, rare bundles at the cost of fresh ones).
+* ``drop-random`` — evict a uniformly random stored copy, drawn from a
+  seeded per-node stream so runs stay deterministic and executor-independent.
+
+Policies are *mechanism*: they rank victims among stored relay copies.
+Protocols whose identity **is** an eviction rule (EC and EC+TTL evict the
+highest-encounter-count copy) keep their own rule and simply report their
+drops under the ``max-ec`` policy name; every other protocol delegates to
+the node's configured policy via the base :class:`~repro.core.protocols.base.Protocol`
+``can_accept``/``_make_room`` hooks.
+
+Victim selection never evicts origin-queue copies (the application queue is
+not the relay buffer) and is deterministic for every policy except
+``drop-random``, whose draws come from the generator handed to
+:func:`make_drop_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.buffer import RelayStore
+from repro.core.bundle import Bundle, StoredBundle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+
+class DropPolicy:
+    """Base drop policy: ranks eviction victims in a full relay buffer.
+
+    Subclasses set :attr:`name` and implement :meth:`select_victim`.
+    ``can_make_room`` is the *planning-time* check used by anti-entropy
+    (``Protocol.can_accept``): it must not consume randomness, so a
+    stochastic policy can be consulted many times per contact without
+    perturbing its stream.
+    """
+
+    #: Registry name; subclasses must set this.
+    name = "abstract"
+
+    def __init__(self, rng: "np.random.Generator | None" = None) -> None:
+        self.rng = rng
+
+    def can_make_room(self, store: RelayStore, incoming: Bundle) -> bool:
+        """True if a victim could be evicted to admit ``incoming``."""
+        return len(store) > 0
+
+    def select_victim(
+        self, store: RelayStore, incoming: Bundle, now: float
+    ) -> StoredBundle | None:
+        """The copy to evict for ``incoming``, or None to refuse it."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RejectPolicy(DropPolicy):
+    """Never evict: a full buffer refuses the incoming copy (the default)."""
+
+    name = "reject"
+
+    def can_make_room(self, store: RelayStore, incoming: Bundle) -> bool:
+        return False
+
+    def select_victim(
+        self, store: RelayStore, incoming: Bundle, now: float
+    ) -> StoredBundle | None:
+        return None
+
+
+class DropTailPolicy(DropPolicy):
+    """Evict the most recently stored copy (the queue's tail)."""
+
+    name = "drop-tail"
+
+    def select_victim(
+        self, store: RelayStore, incoming: Bundle, now: float
+    ) -> StoredBundle | None:
+        entries = store.values()
+        return entries[-1] if entries else None
+
+
+class DropOldestPolicy(DropPolicy):
+    """Evict the copy of the oldest bundle (earliest ``created_at``)."""
+
+    name = "drop-oldest"
+
+    def select_victim(
+        self, store: RelayStore, incoming: Bundle, now: float
+    ) -> StoredBundle | None:
+        entries = store.values()
+        if not entries:
+            return None
+        return min(entries, key=lambda sb: (sb.bundle.created_at, sb.stored_at, sb.bid))
+
+
+class DropYoungestPolicy(DropPolicy):
+    """Evict the copy of the youngest bundle (latest ``created_at``)."""
+
+    name = "drop-youngest"
+
+    def select_victim(
+        self, store: RelayStore, incoming: Bundle, now: float
+    ) -> StoredBundle | None:
+        entries = store.values()
+        if not entries:
+            return None
+        return max(entries, key=lambda sb: (sb.bundle.created_at, sb.stored_at, sb.bid))
+
+
+class DropRandomPolicy(DropPolicy):
+    """Evict a uniformly random stored copy (seeded stream)."""
+
+    name = "drop-random"
+
+    def select_victim(
+        self, store: RelayStore, incoming: Bundle, now: float
+    ) -> StoredBundle | None:
+        entries = store.values()
+        if not entries:
+            return None
+        if self.rng is None:
+            raise ValueError("drop-random requires a seeded rng; use make_drop_policy")
+        return entries[int(self.rng.integers(len(entries)))]
+
+
+_POLICY_REGISTRY: dict[str, type[DropPolicy]] = {}
+
+
+def register_drop_policy(policy_cls: type[DropPolicy]) -> type[DropPolicy]:
+    """Class decorator: add a drop policy to the registry.
+
+    Raises:
+        ValueError: if the class lacks a ``name`` or the name is already
+            taken by a different class.
+    """
+    name = getattr(policy_cls, "name", None)
+    if not name or name == DropPolicy.name:
+        raise ValueError(f"{policy_cls.__name__} must define a policy name")
+    existing = _POLICY_REGISTRY.get(name)
+    if existing is not None and existing is not policy_cls:
+        raise ValueError(
+            f"drop policy {name!r} already registered by {existing.__name__}"
+        )
+    _POLICY_REGISTRY[name] = policy_cls
+    return policy_cls
+
+
+def drop_policy_names() -> list[str]:
+    """All registered drop-policy names, sorted."""
+    return sorted(_POLICY_REGISTRY)
+
+
+def make_drop_policy(
+    name: str, rng: "np.random.Generator | None" = None
+) -> DropPolicy:
+    """Instantiate a registered drop policy.
+
+    Args:
+        name: Registry name (``reject``, ``drop-oldest``, ...).
+        rng: Seeded generator for stochastic policies (``drop-random``).
+
+    Raises:
+        KeyError: for an unknown name (message lists what is available).
+    """
+    try:
+        cls = _POLICY_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown drop policy {name!r}; available: {', '.join(drop_policy_names())}"
+        ) from None
+    return cls(rng=rng)
+
+
+for _cls in (
+    RejectPolicy,
+    DropTailPolicy,
+    DropOldestPolicy,
+    DropYoungestPolicy,
+    DropRandomPolicy,
+):
+    register_drop_policy(_cls)
+
+
+__all__ = [
+    "DropPolicy",
+    "DropOldestPolicy",
+    "DropRandomPolicy",
+    "DropTailPolicy",
+    "DropYoungestPolicy",
+    "RejectPolicy",
+    "drop_policy_names",
+    "make_drop_policy",
+    "register_drop_policy",
+]

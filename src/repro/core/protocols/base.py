@@ -16,8 +16,12 @@ budgets, copy bookkeeping); protocols decide policy:
   anti-packet / immunity-table generation).
 
 The base class implements **pure epidemic** behaviour: offer everything the
-peer lacks, accept while there is room (drop-tail), no TTL, no purging. Every
-variant overrides only the hooks it changes, which keeps the implementations
+peer lacks, accept while there is room, no TTL, no purging. What happens
+when the buffer is *full* is delegated to the node's configured
+:class:`~repro.core.policies.DropPolicy` (default ``reject`` — refuse the
+incoming copy, the classic behaviour); protocols whose identity is an
+eviction rule (EC, EC+TTL) override the hooks instead. Every variant
+overrides only the hooks it changes, which keeps the implementations
 honest about *what* each protocol actually adds — the paper's taxonomy made
 executable.
 """
@@ -44,6 +48,9 @@ class SimulationServices(TypingProtocol):
 
     def remove_copy(self, node: "Node", bid: BundleId, reason: str) -> None:
         """Remove a live copy (origin or relay) with metric bookkeeping."""
+
+    def evict_copy(self, node: "Node", bid: BundleId, policy: str) -> None:
+        """Evict a relay copy under buffer pressure, charged to ``policy``."""
 
     def set_expiry(self, node: "Node", sb: StoredBundle, expiry: float) -> None:
         """(Re)schedule TTL expiry for a stored copy."""
@@ -164,13 +171,20 @@ class Protocol:
     def can_accept(self, bundle: Bundle, now: float) -> bool:
         """Planning-time check: could a copy of ``bundle`` be stored?
 
-        The destination always accepts (delivery consumes no buffer).
-        Drop-tail protocols need a free slot; eviction-based protocols
-        override this to say yes when room can be made.
+        The destination always accepts (delivery consumes no buffer). A
+        full buffer defers to the node's configured drop policy (the
+        default ``reject`` never makes room — the classic refusal);
+        protocols with an intrinsic eviction rule (EC) override this.
+
+        Must not consume randomness: anti-entropy consults it repeatedly
+        within one contact (stochastic policies only draw at eviction
+        time, in :meth:`_make_room`).
         """
         if bundle.destination == self.node.id:
             return True
-        return not self.node.relay.is_full
+        if not self.node.relay.is_full:
+            return True
+        return self.node.drop_policy.can_make_room(self.node.relay, bundle)
 
     def accept(
         self,
@@ -202,8 +216,17 @@ class Protocol:
         return sb
 
     def _make_room(self, incoming: Bundle, ec: int, now: float) -> bool:
-        """Evict to fit ``incoming``; base (drop-tail) never evicts."""
-        return False
+        """Evict per the node's drop policy to fit ``incoming``.
+
+        With the default ``reject`` policy no victim is ever named and the
+        incoming copy is refused — the historical behaviour.
+        """
+        policy = self.node.drop_policy
+        victim = policy.select_victim(self.node.relay, incoming, now)
+        if victim is None:
+            return False
+        self.sim.evict_copy(self.node, victim.bid, policy=policy.name)
+        return True
 
     def on_copy_received(
         self, sb: StoredBundle, now: float, sender_copy: StoredBundle | None = None

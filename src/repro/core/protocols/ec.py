@@ -54,13 +54,14 @@ class ECEpidemic(Protocol):
         return self.node.relay.max_ec_entry(min_ec=self.min_ec_evict) is not None
 
     def _make_room(self, incoming: Bundle, ec: int, now: float) -> bool:
+        # EC's eviction rule IS the protocol; it does not consult the
+        # node's configured drop policy. Drops are charged to "max-ec".
         victim = self.node.relay.max_ec_entry(
             min_ec=self.min_ec_evict, exclude=incoming.bid
         )
         if victim is None:
             return False
-        self.node.counters.evictions += 1
-        self.sim.remove_copy(self.node, victim.bid, reason="evicted")
+        self.sim.evict_copy(self.node, victim.bid, policy="max-ec")
         return True
 
 

@@ -38,6 +38,12 @@ class RunResult:
     wasted_slots: int
     removals: dict[str, int]
     end_time: float
+    #: highest instantaneous population-wide fill fraction during the run
+    #: (may exceed 1.0 when stored immunity tables overflow nominal slots)
+    peak_occupancy: float = 0.0
+    #: buffer-pressure evictions by drop-policy name (``reject`` never
+    #: evicts; EC's intrinsic rule reports under ``max-ec``)
+    drops: dict[str, int] = field(default_factory=dict)
 
     @property
     def signaling_overhead(self) -> int:
@@ -61,6 +67,7 @@ class RunResult:
             "delay": "" if self.delay is None else self.delay,
             "success": int(self.success),
             "buffer_occupancy": self.buffer_occupancy,
+            "peak_occupancy": self.peak_occupancy,
             "duplication_rate": self.duplication_rate,
             "transmissions": self.transmissions,
             "wasted_slots": self.wasted_slots,
@@ -71,6 +78,8 @@ class RunResult:
             row[f"signal_{kind}"] = units
         for reason, count in self.removals.items():
             row[f"removed_{reason}"] = count
+        for policy, count in self.drops.items():
+            row[f"drops_{policy}"] = count
         return row
 
 
@@ -174,6 +183,10 @@ class SweepResult:
         """Average buffer occupancy level vs load — Figs 11–12, 17–18."""
         return self.series(lambda r: r.buffer_occupancy)
 
+    def peak_occupancy_series(self) -> list[Series]:
+        """Average peak occupancy vs load (the contention-pressure curve)."""
+        return self.series(lambda r: r.peak_occupancy)
+
     def duplication_series(self) -> list[Series]:
         """Average bundle duplication rate vs load — Figs 9–10, 19–20."""
         return self.series(lambda r: r.duplication_rate)
@@ -191,8 +204,10 @@ class SweepResult:
         return {
             "delivery_ratio": sum(r.delivery_ratio for r in runs) / len(runs),
             "buffer_occupancy": sum(r.buffer_occupancy for r in runs) / len(runs),
+            "peak_occupancy": sum(r.peak_occupancy for r in runs) / len(runs),
             "duplication_rate": sum(r.duplication_rate for r in runs) / len(runs),
             "delay": sum(delays) / len(delays) if delays else math.nan,
             "signaling_overhead": sum(r.signaling_overhead for r in runs) / len(runs),
+            "drops": sum(sum(r.drops.values()) for r in runs) / len(runs),
             "runs": float(len(runs)),
         }

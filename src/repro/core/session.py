@@ -4,7 +4,9 @@ Implements the paper's encounter semantics:
 
 * The pair can move ``floor(duration / bundle_tx_time)`` bundles during the
   contact (Section IV's worked example: a 314 s encounter carries 3 bundles
-  at 100 s each). The link is half-duplex — one bundle in flight at a time —
+  at 100 s each). With per-node transmit times the link runs at the pace of
+  the slower radio (:meth:`~repro.core.simulation.SimulationConfig.pair_tx_time`).
+  The link is half-duplex — one bundle in flight at a time —
   and the **lower-ID node transmits first** (the paper's collision-avoidance
   rule); the higher-ID node uses whatever budget remains.
 * At contact start the control plane is exchanged "for free": summary
@@ -48,7 +50,10 @@ class ContactSession:
         self.contact = contact
         self.node_a = sim.nodes[contact.a]  # lower id — transmits first
         self.node_b = sim.nodes[contact.b]
-        self.budget = int(math.floor(contact.duration / sim.config.bundle_tx_time))
+        #: per-bundle transfer time on this link — the slower of the two
+        #: radios when bundle_tx_time is per-node (heterogeneous devices)
+        self.tx_time = sim.config.pair_tx_time(contact.a, contact.b)
+        self.budget = int(math.floor(contact.duration / self.tx_time))
         self.t_cursor = contact.start
         self.idle = False
         #: (sender_id, bid) pairs whose P-Q coin failed this contact
@@ -127,7 +132,7 @@ class ContactSession:
     def _schedule_next(self, now: float) -> None:
         if self.budget <= 0:
             return
-        slot_end = self.t_cursor + self.sim.config.bundle_tx_time
+        slot_end = self.t_cursor + self.tx_time
         if slot_end > self.contact.end + 1e-9:
             return
         pick = self._plan(now)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.core.bundle import NO_EXPIRY, Bundle, BundleId, StoredBundle
 from repro.core.metrics import MetricsCollector
 from repro.core.node import Node
+from repro.core.policies import make_drop_policy
 from repro.core.protocols.registry import ProtocolConfig
 from repro.core.results import RunResult
 from repro.core.session import ContactSession
@@ -33,19 +34,92 @@ class SimulationConfig:
 
     Attributes:
         buffer_capacity: Relay buffer slots per node (paper: 10 bundles).
+            Either one scalar for a homogeneous population or a sequence
+            with one entry per node (heterogeneous devices — e.g. a few
+            high-capacity ferries among constrained sensors).
         bundle_tx_time: Seconds to transmit one bundle (paper: 100 s —
             bundles are large; a contact of duration d carries
-            floor(d / bundle_tx_time) bundles).
+            floor(d / bundle_tx_time) bundles). Scalar, or one entry per
+            node; a contact between two nodes moves bundles at the pace of
+            the *slower* radio (``pair_tx_time``).
+        drop_policy: Registered buffer drop policy consulted when a full
+            relay buffer receives a new copy (see
+            :mod:`repro.core.policies`). The default ``reject`` reproduces
+            the historical drop-tail-refusal behaviour exactly. Protocols
+            with an intrinsic eviction rule (EC, EC+TTL) keep their own
+            rule regardless of this knob.
     """
 
-    buffer_capacity: int = 10
-    bundle_tx_time: float = 100.0
+    buffer_capacity: int | tuple[int, ...] = 10
+    bundle_tx_time: float | tuple[float, ...] = 100.0
+    drop_policy: str = "reject"
 
     def __post_init__(self) -> None:
-        if self.buffer_capacity < 1:
+        if isinstance(self.buffer_capacity, (list, tuple)):
+            caps = tuple(int(c) for c in self.buffer_capacity)
+            if not caps:
+                raise ValueError("per-node buffer_capacity must be non-empty")
+            object.__setattr__(self, "buffer_capacity", caps)
+            if any(c < 1 for c in caps):
+                raise ValueError("every buffer_capacity must be >= 1")
+        elif self.buffer_capacity < 1:
             raise ValueError("buffer_capacity must be >= 1")
-        if self.bundle_tx_time <= 0:
+        if isinstance(self.bundle_tx_time, (list, tuple)):
+            times = tuple(float(t) for t in self.bundle_tx_time)
+            if not times:
+                raise ValueError("per-node bundle_tx_time must be non-empty")
+            object.__setattr__(self, "bundle_tx_time", times)
+            if any(t <= 0 for t in times):
+                raise ValueError("every bundle_tx_time must be positive")
+        elif self.bundle_tx_time <= 0:
             raise ValueError("bundle_tx_time must be positive")
+        from repro.core.policies import drop_policy_names
+
+        if self.drop_policy not in drop_policy_names():
+            raise ValueError(
+                f"unknown drop policy {self.drop_policy!r}; "
+                f"available: {', '.join(drop_policy_names())}"
+            )
+
+    # ----------------------------------------------------- per-node accessors
+
+    def validate_population(self, num_nodes: int) -> None:
+        """Check per-node sequences match the population size.
+
+        Raises:
+            ValueError: if a per-node sequence has the wrong length.
+        """
+        for label, value in (
+            ("buffer_capacity", self.buffer_capacity),
+            ("bundle_tx_time", self.bundle_tx_time),
+        ):
+            if isinstance(value, tuple) and len(value) != num_nodes:
+                raise ValueError(
+                    f"per-node {label} has {len(value)} entries "
+                    f"for a {num_nodes}-node population"
+                )
+
+    def capacity_for(self, node_id: int) -> int:
+        """Relay buffer slots of ``node_id``."""
+        if isinstance(self.buffer_capacity, tuple):
+            return self.buffer_capacity[node_id]
+        return self.buffer_capacity
+
+    def capacities(self, num_nodes: int) -> tuple[int, ...]:
+        """Per-node relay capacities for a ``num_nodes`` population."""
+        if isinstance(self.buffer_capacity, tuple):
+            return self.buffer_capacity
+        return (self.buffer_capacity,) * num_nodes
+
+    def tx_time_for(self, node_id: int) -> float:
+        """Seconds ``node_id``'s radio needs to transmit one bundle."""
+        if isinstance(self.bundle_tx_time, tuple):
+            return self.bundle_tx_time[node_id]
+        return self.bundle_tx_time
+
+    def pair_tx_time(self, a: int, b: int) -> float:
+        """Per-bundle transfer time of the (a, b) link: the slower radio."""
+        return max(self.tx_time_for(a), self.tx_time_for(b))
 
 
 class Simulation:
@@ -69,13 +143,22 @@ class Simulation:
         self.protocol_config = protocol_config
         self.flows = flows
         self.config = config or SimulationConfig()
+        self.config.validate_population(trace.num_nodes)
         self.seed = seed
         self.engine = Engine()
-        self.metrics = MetricsCollector(trace.num_nodes, self.config.buffer_capacity)
+        self.metrics = MetricsCollector(
+            trace.num_nodes, self.config.capacities(trace.num_nodes)
+        )
         hub = RngHub(seed)
         self.nodes: list[Node] = []
         for i in range(trace.num_nodes):
-            node = Node(i, self.config.buffer_capacity)
+            node = Node(
+                i,
+                self.config.capacity_for(i),
+                drop_policy=make_drop_policy(
+                    self.config.drop_policy, rng=hub.stream("drop-policy", i)
+                ),
+            )
             node.protocol = protocol_config.build(
                 node, self, hub.stream("protocol", i)
             )
@@ -104,6 +187,17 @@ class Simulation:
             node.counters.expiries += 1
         elif reason == "immunized":
             node.counters.immunized_purges += 1
+
+    def evict_copy(self, node: Node, bid: BundleId, policy: str) -> None:
+        """Evict a relay copy under buffer pressure, attributed to ``policy``.
+
+        ``policy`` is the drop-policy name charged in the per-policy drop
+        counters — the node's configured policy for the base protocol path,
+        ``"max-ec"`` for the EC protocols' intrinsic rule.
+        """
+        node.counters.evictions += 1
+        self.metrics.on_policy_drop(policy)
+        self.remove_copy(node, bid, reason="evicted")
 
     def set_expiry(self, node: Node, sb: StoredBundle, expiry: float) -> None:
         """(Re)arm a copy's TTL expiry event."""
@@ -236,6 +330,7 @@ class Simulation:
             delay=delay,
             success=success,
             buffer_occupancy=self.metrics.mean_buffer_occupancy(end_time),
+            peak_occupancy=self.metrics.peak_occupancy,
             duplication_rate=self.metrics.mean_duplication_rate(end_time),
             signaling={
                 "anti_packet": self.metrics.signaling.anti_packet,
@@ -250,5 +345,6 @@ class Simulation:
                 "immunized": self.metrics.removals.immunized,
                 "ec_aged_out": self.metrics.removals.ec_aged_out,
             },
+            drops=dict(self.metrics.drops),
             end_time=end_time,
         )

@@ -38,6 +38,11 @@ class Flow:
     created_at: float = 0.0
 
     def __post_init__(self) -> None:
+        # Endpoint samplers draw with numpy; coerce to builtin types here so
+        # np.int64 never leaks into results/JSON (json.dumps rejects it).
+        for name in ("flow_id", "source", "destination", "num_bundles"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+        object.__setattr__(self, "created_at", float(self.created_at))
         if self.source == self.destination:
             raise ValueError("flow source and destination must differ")
         if self.num_bundles < 1:

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.analysis.figures import FigureData, build_figure
-from repro.analysis.tables import build_table2, render_table1, render_table2
+from repro.analysis.tables import (
+    build_table2,
+    render_table1,
+    render_table2,
+    render_tradeoff_table,
+)
 from repro.experiments.runner import (
     CUMULATIVE_LABEL,
     DYN_TTL_LABEL,
@@ -201,6 +206,21 @@ def _table1(_: ExperimentRunner) -> str:
     return render_table1()
 
 
+def _tradeoff(r: ExperimentRunner) -> str:
+    from repro.experiments.tradeoff import TradeoffConfig, run_tradeoff_study
+
+    study = run_tradeoff_study(
+        TradeoffConfig(
+            loads=tuple(r.scale.loads),
+            replications=r.scale.replications,
+            seed=r.seed,
+        ),
+        executor=r.executor,
+        progress=r.progress,
+    )
+    return render_tradeoff_table(study)
+
+
 def _table2(r: ExperimentRunner) -> str:
     rows = build_table2(
         r.sweep("enhanced_rwp"),
@@ -357,6 +377,17 @@ for _exp in [
         "Whole-sweep means of delivery/buffer/duplication for 6 protocols × 2 mobility models.",
         ("enhanced_rwp", "enhanced_trace"),
         _table2,
+    ),
+    Experiment(
+        "tradeoff",
+        "Tradeoff — occupancy vs delivery under capacity × drop policy",
+        "table",
+        "Buffer-contention study beyond the paper: sweep relay capacity and "
+        "drop policy (reject/drop-tail/drop-oldest/drop-youngest/drop-random) "
+        "for pure, TTL=300 and anti-packet P-Q; the reject column at capacity "
+        "10 is the paper's exact configuration.",
+        (),
+        _tradeoff,
     ),
 ]:
     _register(_exp)

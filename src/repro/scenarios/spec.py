@@ -325,7 +325,13 @@ class ScenarioSpec:
             with a seed derived from ``(base, "mobility", rep)`` where
             ``base`` is the mobility's pinned seed or, by default, ``seed``.
         buffer_capacity / bundle_tx_time: Mechanism constants, forwarded
-            into :class:`~repro.core.simulation.SimulationConfig`.
+            into :class:`~repro.core.simulation.SimulationConfig`. Each
+            accepts one scalar (homogeneous population) or a JSON list with
+            one entry per node (heterogeneous devices).
+        drop_policy: Buffer drop policy consulted on buffer pressure
+            (``reject``, ``drop-tail``, ``drop-oldest``, ``drop-youngest``,
+            ``drop-random`` — see :mod:`repro.core.policies`). The default
+            ``reject`` reproduces the classic refuse-incoming behaviour.
     """
 
     mobility: MobilitySpec
@@ -334,18 +340,24 @@ class ScenarioSpec:
     name: str = ""
     seed: int = 0
     shared_trace: bool = True
-    buffer_capacity: int = 10
-    bundle_tx_time: float = 100.0
+    buffer_capacity: int | tuple[int, ...] = 10
+    bundle_tx_time: float | tuple[float, ...] = 100.0
+    drop_policy: str = "reject"
 
     def __post_init__(self) -> None:
         protocols = tuple(self.protocols)
         object.__setattr__(self, "protocols", protocols)
         if not protocols:
             raise ValueError("scenario needs at least one protocol")
-        # Fail fast on bad mechanism constants (same rules as SimulationConfig).
-        SimulationConfig(
-            buffer_capacity=self.buffer_capacity, bundle_tx_time=self.bundle_tx_time
+        # Fail fast on bad mechanism constants; SimulationConfig also
+        # normalises per-node lists, so adopt its tuple forms.
+        sim = SimulationConfig(
+            buffer_capacity=self.buffer_capacity,
+            bundle_tx_time=self.bundle_tx_time,
+            drop_policy=self.drop_policy,
         )
+        object.__setattr__(self, "buffer_capacity", sim.buffer_capacity)
+        object.__setattr__(self, "bundle_tx_time", sim.bundle_tx_time)
 
     # ------------------------------------------------------------- building
 
@@ -380,6 +392,7 @@ class ScenarioSpec:
             sim=SimulationConfig(
                 buffer_capacity=self.buffer_capacity,
                 bundle_tx_time=self.bundle_tx_time,
+                drop_policy=self.drop_policy,
             ),
         )
 
@@ -419,6 +432,9 @@ class ScenarioSpec:
     # -------------------------------------------------------- serialisation
 
     def to_dict(self) -> dict[str, Any]:
+        def plain(value: Any) -> Any:
+            return list(value) if isinstance(value, tuple) else value
+
         return {
             "name": self.name,
             "seed": self.seed,
@@ -426,8 +442,9 @@ class ScenarioSpec:
             "protocols": [p.to_dict() for p in self.protocols],
             "workload": self.workload.to_dict(),
             "shared_trace": self.shared_trace,
-            "buffer_capacity": self.buffer_capacity,
-            "bundle_tx_time": self.bundle_tx_time,
+            "buffer_capacity": plain(self.buffer_capacity),
+            "bundle_tx_time": plain(self.bundle_tx_time),
+            "drop_policy": self.drop_policy,
         }
 
     @classmethod
@@ -444,6 +461,7 @@ class ScenarioSpec:
                 "shared_trace",
                 "buffer_capacity",
                 "bundle_tx_time",
+                "drop_policy",
             ],
         )
         if "mobility" not in data:
@@ -459,9 +477,19 @@ class ScenarioSpec:
         }
         if "workload" in data:
             kwargs["workload"] = WorkloadSpec.from_dict(data["workload"])
-        for key in ("name", "seed", "shared_trace", "buffer_capacity", "bundle_tx_time"):
+        for key in (
+            "name",
+            "seed",
+            "shared_trace",
+            "buffer_capacity",
+            "bundle_tx_time",
+            "drop_policy",
+        ):
             if key in data:
-                kwargs[key] = data[key]
+                value = data[key]
+                if key in ("buffer_capacity", "bundle_tx_time") and isinstance(value, list):
+                    value = tuple(value)
+                kwargs[key] = value
         return cls(**kwargs)
 
     def to_json(self, *, indent: int = 2) -> str:

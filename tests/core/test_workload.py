@@ -79,3 +79,38 @@ class TestMultiFlow:
     def test_requires_flows(self):
         with pytest.raises(ValueError):
             multi_flow(10, 0, 5, np.random.default_rng(0))
+
+
+class TestBuiltinTypes:
+    """Regression: numpy integer types must never leak into Flow fields.
+
+    np.int64 endpoints break clean JSON serialisation of results
+    (json.dumps raises TypeError on numpy scalars).
+    """
+
+    def test_flow_coerces_numpy_ints(self):
+        flow = Flow(
+            flow_id=np.int64(1),
+            source=np.int64(0),
+            destination=np.int64(3),
+            num_bundles=np.int64(7),
+            created_at=np.float64(2.0),
+        )
+        assert type(flow.flow_id) is int
+        assert type(flow.source) is int
+        assert type(flow.destination) is int
+        assert type(flow.num_bundles) is int
+        assert type(flow.created_at) is float
+
+    def test_sampled_flows_are_json_clean(self):
+        import dataclasses
+        import json
+
+        rng = np.random.default_rng(0)
+        flows = single_flow(12, 5, rng) + multi_flow(12, 3, 4, rng, stagger=10.0)
+        text = json.dumps([dataclasses.asdict(f) for f in flows])
+        assert json.loads(text)[0]["num_bundles"] == 5
+
+    def test_draw_endpoints_returns_builtin_ints(self):
+        src, dst = draw_endpoints(10, np.random.default_rng(1))
+        assert type(src) is int and type(dst) is int

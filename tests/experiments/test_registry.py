@@ -8,6 +8,7 @@ from repro.experiments import EXPERIMENT_IDS, ExperimentRunner, get_experiment, 
 EXPECTED_IDS = {
     "table1",
     "table2",
+    "tradeoff",
     *(f"fig{n:02d}" for n in range(7, 21)),
 }
 

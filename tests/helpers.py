@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.bundle import NO_EXPIRY, Bundle, BundleId, StoredBundle
 from repro.core.node import Node
+from repro.core.policies import make_drop_policy
 from repro.core.protocols.registry import ProtocolConfig, make_protocol_config
 from repro.core.results import RunResult
 from repro.core.simulation import Simulation, SimulationConfig
@@ -69,6 +70,7 @@ class FakeSim:
     def __init__(self) -> None:
         self._now = 0.0
         self.removals: list[RemovalRecord] = []
+        self.evictions: list[tuple[int, BundleId, str]] = []
         self.expiries: dict[tuple[int, BundleId], float] = {}
         self.control_units: list[tuple[int, str, int]] = []
         self.control_storage: dict[int, float] = {}
@@ -83,6 +85,11 @@ class FakeSim:
     def remove_copy(self, node: Node, bid: BundleId, reason: str) -> None:
         node.remove_copy(bid)
         self.removals.append(RemovalRecord(node.id, bid, reason, self._now))
+
+    def evict_copy(self, node: Node, bid: BundleId, policy: str) -> None:
+        node.counters.evictions += 1
+        self.evictions.append((node.id, bid, policy))
+        self.remove_copy(node, bid, reason="evicted")
 
     def set_expiry(self, node: Node, sb: StoredBundle, expiry: float) -> None:
         sb.expiry = expiry
@@ -103,11 +110,17 @@ def make_node(
     protocol: str = "pure",
     sim: FakeSim | None = None,
     seed: int = 0,
+    drop_policy: str | None = None,
     **protocol_kwargs,
 ) -> tuple[Node, FakeSim]:
     """A node with a bound protocol over a :class:`FakeSim`."""
     sim = sim or FakeSim()
-    node = Node(node_id, capacity)
+    policy = (
+        make_drop_policy(drop_policy, rng=np.random.default_rng(seed))
+        if drop_policy is not None
+        else None
+    )
+    node = Node(node_id, capacity, drop_policy=policy)
     cfg = make_protocol_config(protocol, **protocol_kwargs)
     node.protocol = cfg.build(node, sim, np.random.default_rng(seed))
     return node, sim

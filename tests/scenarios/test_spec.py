@@ -242,3 +242,61 @@ class TestScenarioSpec:
         # 2 protocols × 2 loads × 2 replications
         assert len(result) == 8
         assert result.loads() == [2, 4]
+
+
+class TestBufferContentionSpec:
+    """Heterogeneous capacities and drop policies as scenario inputs."""
+
+    def test_drop_policy_round_trip(self):
+        spec = tiny_scenario(drop_policy="drop-oldest")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert json.loads(spec.to_json())["drop_policy"] == "drop-oldest"
+
+    def test_per_node_capacity_round_trip(self):
+        spec = tiny_scenario(
+            buffer_capacity=(2, 2, 2, 2, 8, 8, 8, 8),
+            bundle_tx_time=(100.0,) * 4 + (50.0,) * 4,
+        )
+        loaded = ScenarioSpec.from_json(spec.to_json())
+        assert loaded == spec
+        assert loaded.buffer_capacity == (2, 2, 2, 2, 8, 8, 8, 8)
+        # on-disk form is a plain JSON list
+        assert json.loads(spec.to_json())["buffer_capacity"] == [2, 2, 2, 2, 8, 8, 8, 8]
+
+    def test_json_list_loads_as_tuple(self):
+        data = tiny_scenario().to_dict()
+        data["buffer_capacity"] = [1, 2, 3, 4, 5, 6, 7, 8]
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.buffer_capacity == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_unknown_policy_rejected(self):
+        data = tiny_scenario().to_dict()
+        data["drop_policy"] = "fifo"
+        with pytest.raises(ValueError, match="unknown drop policy"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_per_node_capacity_rejected(self):
+        with pytest.raises(ValueError, match="buffer_capacity"):
+            tiny_scenario(buffer_capacity=(2, 0))
+
+    def test_sweep_config_threads_policy_and_heterogeneity(self):
+        spec = tiny_scenario(
+            buffer_capacity=(3,) * 8, drop_policy="drop-random"
+        )
+        cfg = spec.sweep_config()
+        assert cfg.sim.buffer_capacity == (3,) * 8
+        assert cfg.sim.drop_policy == "drop-random"
+
+    def test_heterogeneous_run_executes(self):
+        result = tiny_scenario(
+            buffer_capacity=(1, 1, 1, 1, 4, 4, 4, 4), drop_policy="drop-oldest"
+        ).run()
+        assert len(result) == 8
+
+    def test_default_policy_spec_equals_pre_policy_spec(self):
+        """Specs without the new keys behave exactly as before."""
+        data = tiny_scenario().to_dict()
+        del data["drop_policy"]
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.drop_policy == "reject"
+        assert spec.run().runs == tiny_scenario().run().runs

@@ -160,3 +160,72 @@ class TestRunScenario:
         bad.write_text(json.dumps({**TINY_SCENARIO, "warp": 9}))
         with pytest.raises(ValueError, match="unknown ScenarioSpec key"):
             main(["run-scenario", str(bad)])
+
+
+HETEROGENEOUS_SCENARIO = {
+    **TINY_SCENARIO,
+    "name": "tiny-het",
+    "buffer_capacity": [1, 1, 1, 1, 4, 4, 4, 4],
+    "bundle_tx_time": [100.0, 100.0, 100.0, 100.0, 50.0, 50.0, 50.0, 50.0],
+    "drop_policy": "drop-oldest",
+}
+
+
+class TestBufferContentionCli:
+    """Acceptance: run-scenario takes per-node capacities + drop policies."""
+
+    @pytest.fixture
+    def het_file(self, tmp_path):
+        path = tmp_path / "het.json"
+        path.write_text(json.dumps(HETEROGENEOUS_SCENARIO))
+        return path
+
+    def test_parser_accepts_policy_and_capacity_flags(self):
+        args = build_parser().parse_args(
+            ["run-scenario", "s.json", "--drop-policy", "drop-oldest",
+             "--buffer-capacity", "4"]
+        )
+        assert args.drop_policy == "drop-oldest"
+        assert args.buffer_capacity == 4
+        args = build_parser().parse_args(
+            ["run-scenario", "s.json", "--buffer-capacity", "1,2,3"]
+        )
+        assert args.buffer_capacity == (1, 2, 3)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-scenario", "s.json", "--drop-policy", "fifo"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-scenario", "s.json", "--buffer-capacity", "x"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-scenario", "s.json", "--buffer-capacity", "0"]
+            )
+
+    def test_runs_heterogeneous_scenario_file(self, het_file, capsys):
+        assert main(["run-scenario", str(het_file)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario tiny-het: 8 runs" in out
+        assert "Delivery ratio" in out
+
+    def test_policy_override_flag(self, tmp_path, capsys):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(TINY_SCENARIO))
+        assert main(
+            ["run-scenario", str(path), "--drop-policy", "drop-random",
+             "--buffer-capacity", "1,1,1,1,2,2,2,2"]
+        ) == 0
+        assert "8 runs" in capsys.readouterr().out
+
+    def test_repo_example_scenario_loads(self):
+        from pathlib import Path
+
+        from repro.scenarios import ScenarioSpec
+
+        example = (
+            Path(__file__).parent.parent / "examples" / "scenarios"
+            / "heterogeneous_buffers.json"
+        )
+        spec = ScenarioSpec.load(example)
+        assert spec.drop_policy == "drop-oldest"
+        assert len(spec.buffer_capacity) == 12
