@@ -24,7 +24,7 @@ constructed with its own ``capacity``.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, KeysView
 
 from repro.core.bundle import BundleId, StoredBundle
 
@@ -41,6 +41,9 @@ class RelayStore:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: dict[BundleId, StoredBundle] = {}
+        #: monotonic mutation counter (every add/remove bumps it); feeds
+        #: :attr:`repro.core.node.Node.store_epoch` cache invalidation
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,6 +86,7 @@ class RelayStore:
                 f"store full ({self.capacity} slots), cannot add {sb.bid}"
             )
         self._entries[sb.bid] = sb
+        self.version += 1
 
     def remove(self, bid: BundleId) -> StoredBundle:
         """Remove and return the copy for ``bid``.
@@ -90,15 +94,31 @@ class RelayStore:
         Raises:
             KeyError: if not present.
         """
-        return self._entries.pop(bid)
+        sb = self._entries.pop(bid)
+        self.version += 1
+        return sb
 
     def ids(self) -> set[BundleId]:
         """Ids of all stored copies."""
         return set(self._entries.keys())
 
+    def id_view(self) -> "KeysView[BundleId]":
+        """Allocation-free live view of the stored ids (read-only)."""
+        return self._entries.keys()
+
     def values(self) -> list[StoredBundle]:
         """Stored copies in insertion order."""
         return list(self._entries.values())
+
+    def entries_view(self) -> dict[BundleId, StoredBundle]:
+        """The live id → copy mapping — read-only by convention.
+
+        Hot paths (the session planner's membership probes and candidate
+        rebuilds) use this to skip method-call and copy overhead; all
+        mutation must still go through :meth:`add`/:meth:`remove` so
+        :attr:`version` stays honest.
+        """
+        return self._entries
 
     def expired(self, now: float) -> list[StoredBundle]:
         """Copies whose TTL has run out at ``now``."""

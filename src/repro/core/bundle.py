@@ -10,14 +10,13 @@ expiry, where it came from).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 #: Expiry value meaning "never expires".
 NO_EXPIRY = math.inf
 
 
-@dataclass(frozen=True, slots=True, order=True)
 class BundleId:
     """Globally unique bundle identity.
 
@@ -25,16 +24,62 @@ class BundleId:
     the 1-based position within the flow. Sequential ``seq`` values are what
     the cumulative immunity table compresses ("table id 30 means bundles
     1..30 were delivered").
+
+    Immutable, ordered, and hashable — and hashed on *every* buffer /
+    summary / knowledge probe of the simulation, so the hash is computed
+    once at construction and cached. The cached value equals
+    ``hash((flow, seq))``, exactly what the former frozen dataclass
+    generated, so set/dict iteration orders (and therefore simulation
+    results) are unchanged.
     """
 
-    flow: int
-    seq: int
+    __slots__ = ("flow", "seq", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.seq < 1:
-            raise ValueError(f"bundle seq is 1-based, got {self.seq}")
-        if self.flow < 0:
-            raise ValueError(f"flow id must be >= 0, got {self.flow}")
+    def __init__(self, flow: int, seq: int) -> None:
+        if seq < 1:
+            raise ValueError(f"bundle seq is 1-based, got {seq}")
+        if flow < 0:
+            raise ValueError(f"flow id must be >= 0, got {flow}")
+        object.__setattr__(self, "flow", flow)
+        object.__setattr__(self, "seq", seq)
+        object.__setattr__(self, "_hash", hash((flow, seq)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"BundleId is immutable; cannot set {name!r}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is BundleId:
+            return self.flow == other.flow and self.seq == other.seq
+        return NotImplemented
+
+    def __lt__(self, other: "BundleId") -> bool:
+        if other.__class__ is BundleId:
+            return (self.flow, self.seq) < (other.flow, other.seq)
+        return NotImplemented
+
+    def __le__(self, other: "BundleId") -> bool:
+        if other.__class__ is BundleId:
+            return (self.flow, self.seq) <= (other.flow, other.seq)
+        return NotImplemented
+
+    def __gt__(self, other: "BundleId") -> bool:
+        if other.__class__ is BundleId:
+            return (self.flow, self.seq) > (other.flow, other.seq)
+        return NotImplemented
+
+    def __ge__(self, other: "BundleId") -> bool:
+        if other.__class__ is BundleId:
+            return (self.flow, self.seq) >= (other.flow, other.seq)
+        return NotImplemented
+
+    def __reduce__(self):
+        return (BundleId, (self.flow, self.seq))
+
+    def __repr__(self) -> str:
+        return f"BundleId(flow={self.flow}, seq={self.seq})"
 
     def __str__(self) -> str:  # compact rendering for logs/tests
         return f"{self.flow}.{self.seq}"
@@ -63,9 +108,13 @@ class Bundle:
             raise ValueError("created_at must be >= 0")
 
 
-@dataclass(slots=True)
 class StoredBundle:
     """One node's copy of a bundle, with per-copy protocol state.
+
+    One instance per stored copy — the unit the whole simulation allocates
+    most of — so this is a plain ``__slots__`` class with a trivial
+    constructor and a *lazy* ``meta`` dict (only the extension protocols
+    that carry per-copy state, e.g. spray tokens, ever materialise it).
 
     Attributes:
         bundle: The message this copy carries.
@@ -79,19 +128,41 @@ class StoredBundle:
         expiry_event: Handle of the scheduled expiry event (simulation-owned).
     """
 
-    bundle: Bundle
-    stored_at: float
-    is_origin: bool = False
-    ec: int = 0
-    expiry: float = NO_EXPIRY
-    expiry_event: Any = field(default=None, repr=False)
-    #: Free-form per-copy protocol state (e.g. spray tokens). Travels with
-    #: the node's copy, not with the bundle.
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("bundle", "stored_at", "is_origin", "ec", "expiry", "expiry_event", "_meta")
+
+    def __init__(
+        self,
+        bundle: Bundle,
+        stored_at: float,
+        is_origin: bool = False,
+        ec: int = 0,
+        expiry: float = NO_EXPIRY,
+        expiry_event: Any = None,
+        meta: dict | None = None,
+    ) -> None:
+        self.bundle = bundle
+        self.stored_at = stored_at
+        self.is_origin = is_origin
+        self.ec = ec
+        self.expiry = expiry
+        self.expiry_event = expiry_event
+        self._meta = meta
 
     @property
     def bid(self) -> BundleId:
         return self.bundle.bid
+
+    @property
+    def meta(self) -> dict:
+        """Free-form per-copy protocol state (e.g. spray tokens).
+
+        Travels with the node's copy, not with the bundle. Materialised on
+        first access.
+        """
+        m = self._meta
+        if m is None:
+            m = self._meta = {}
+        return m
 
     def is_expired(self, now: float) -> bool:
         """True if the copy's TTL has run out at time ``now``."""
@@ -100,6 +171,13 @@ class StoredBundle:
     def remaining_ttl(self, now: float) -> float:
         """Seconds of TTL left (inf when no TTL is set)."""
         return self.expiry - now
+
+    def __repr__(self) -> str:
+        origin = ", origin" if self.is_origin else ""
+        return (
+            f"StoredBundle({self.bid}, stored_at={self.stored_at}, "
+            f"ec={self.ec}, expiry={self.expiry}{origin})"
+        )
 
 
 def make_flow_bundles(

@@ -87,12 +87,14 @@ class SignalingCounters:
     summary_vector: int = 0
 
     def add(self, kind: str, units: int) -> None:
-        if kind == "anti_packet":
+        # summary vectors are counted twice per contact for every protocol
+        # — test the common kind first
+        if kind == "summary_vector":
+            self.summary_vector += units
+        elif kind == "anti_packet":
             self.anti_packet += units
         elif kind == "immunity_table":
             self.immunity_table += units
-        elif kind == "summary_vector":
-            self.summary_vector += units
         else:
             raise ValueError(f"unknown signaling kind {kind!r}")
 
@@ -124,10 +126,46 @@ class RemovalCounters:
         return self.evicted + self.expired + self.immunized + self.ec_aged_out + self.other
 
 
+class _CopyTrack:
+    """Fused per-bundle copy bookkeeping: count + time integral + window.
+
+    One object replaces the former triple of dicts (accumulator, count,
+    born-at) plus the frozen-mean side table — one hash lookup per copy
+    delta instead of three, and no per-bundle accumulator objects.
+    The integral arithmetic mirrors :class:`TimeWeightedAccumulator`
+    exactly (``integral += value · dt`` at every change), so the metric
+    values are bit-identical to the unfused implementation.
+    """
+
+    __slots__ = ("count", "since", "integral", "born", "frozen_mean")
+
+    def __init__(self, born: float) -> None:
+        self.count = 1  # the origin copy
+        self.since = born
+        self.integral = 0.0
+        self.born = born
+        #: alive-window duplication mean frozen at delivery, else None
+        self.frozen_mean: float | None = None
+
+    def alive_mean(self, now: float, num_nodes: int) -> float:
+        """Time-averaged copies/N over the alive window so far."""
+        span = now - self.born
+        if span <= 0:
+            return self.count / num_nodes
+        total = self.integral + self.count * (now - self.since)
+        return total / span / num_nodes
+
+
 class MetricsCollector:
     """Per-run metric state, driven by the simulation's mutation hooks."""
 
-    def __init__(self, num_nodes: int, buffer_capacity: "int | Sequence[int]") -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        buffer_capacity: "int | Sequence[int]",
+        *,
+        record_occupancy: bool = False,
+    ) -> None:
         self.num_nodes = num_nodes
         self.buffer_capacity = buffer_capacity
         if isinstance(buffer_capacity, int):
@@ -147,19 +185,20 @@ class MetricsCollector:
         #: relay buffer (the paper's shared-storage model does not bound
         #: table state by the bundle capacity).
         self.peak_occupancy = 0.0
+        #: whether the (time, fill) occupancy trace below is recorded;
+        #: off by default — sweeps only consume the distilled scalars and
+        #: should not pay an append per buffer delta
+        self.record_occupancy = record_occupancy
         #: (time, fill fraction) at every occupancy change — piecewise
         #: constant between entries, one entry per buffer/control-storage
-        #: delta. Read it off the collector of a directly-driven
-        #: :class:`~repro.core.simulation.Simulation`; sweep RunResults
+        #: delta. **Opt-in**: populated only when ``record_occupancy`` is
+        #: True (pass ``record_occupancy=True`` to a directly-driven
+        #: :class:`~repro.core.simulation.Simulation`); sweep RunResults
         #: carry only the scalars (mean + peak) distilled from it.
         self.occupancy_series: list[tuple[float, float]] = []
         #: evictions under buffer pressure, by drop-policy name
         self.drops: dict[str, int] = {}
-        self._copies: dict[BundleId, TimeWeightedAccumulator] = {}
-        self._copy_counts: dict[BundleId, int] = {}
-        self._born_at: dict[BundleId, float] = {}
-        #: duplication mean frozen at delivery time (the alive-window value)
-        self._alive_dup_mean: dict[BundleId, float] = {}
+        self._copies: dict[BundleId, _CopyTrack] = {}
         self.signaling = SignalingCounters()
         self.removals = RemovalCounters()
         self.bundle_transmissions = 0
@@ -174,6 +213,8 @@ class MetricsCollector:
         fill = (self._occupancy.value + self._control_storage.value) / self.total_capacity
         if fill > self.peak_occupancy:
             self.peak_occupancy = fill
+        if not self.record_occupancy:
+            return
         if self.occupancy_series and self.occupancy_series[-1][0] == now:
             self.occupancy_series[-1] = (now, fill)
         else:
@@ -210,30 +251,29 @@ class MetricsCollector:
         """First copy of ``bid`` (the origin copy) appeared at ``now``."""
         if bid in self._copies:
             raise ValueError(f"bundle {bid} born twice")
-        acc = TimeWeightedAccumulator(value=0.0, start=now)
-        acc.update(1.0, now)
-        self._copies[bid] = acc
-        self._copy_counts[bid] = 1
-        self._born_at[bid] = now
+        self._copies[bid] = _CopyTrack(now)
 
     def on_copy_delta(self, bid: BundleId, delta: int, now: float) -> None:
         """The node-copy count of ``bid`` changed by ``delta`` at ``now``."""
-        if bid not in self._copies:
+        track = self._copies.get(bid)
+        if track is None:
             raise ValueError(f"copy delta for unborn bundle {bid}")
-        self._copy_counts[bid] += delta
-        if self._copy_counts[bid] < 0:
+        if now < track.since:
+            raise ValueError(f"time went backwards: {track.since} -> {now}")
+        track.integral += track.count * (now - track.since)
+        track.since = now
+        track.count += delta
+        if track.count < 0:
             raise ValueError(f"negative copy count for {bid}")
-        self._copies[bid].add(float(delta), now)
 
     def copy_count(self, bid: BundleId) -> int:
         """Current number of nodes holding ``bid``."""
-        return self._copy_counts.get(bid, 0)
+        track = self._copies.get(bid)
+        return track.count if track is not None else 0
 
     def _alive_mean(self, bid: BundleId, now: float) -> float:
         """Time-averaged copies/N over the bundle's alive window so far."""
-        acc = self._copies[bid]
-        born = self._born_at[bid]
-        return acc.mean(now, start=born) / self.num_nodes
+        return self._copies[bid].alive_mean(now, self.num_nodes)
 
     def mean_duplication_rate(self, now: float) -> float:
         """Average over bundles of the alive-window duplication rate.
@@ -244,9 +284,10 @@ class MetricsCollector:
         if not self._copies:
             return 0.0
         total = 0.0
-        for bid in self._copies:
-            frozen = self._alive_dup_mean.get(bid)
-            total += frozen if frozen is not None else self._alive_mean(bid, now)
+        num_nodes = self.num_nodes
+        for track in self._copies.values():
+            frozen = track.frozen_mean
+            total += frozen if frozen is not None else track.alive_mean(now, num_nodes)
         return total / len(self._copies)
 
     # ------------------------------------------------------------- delivery
@@ -260,7 +301,7 @@ class MetricsCollector:
             self.delivered_by[bid] = via
         # Freeze the duplication measure at the end of the alive window
         # (the destination's brand-new copy carries zero dt-weight here).
-        self._alive_dup_mean[bid] = self._alive_mean(bid, now)
+        self._copies[bid].frozen_mean = self._alive_mean(bid, now)
 
     def delivery_ratio(self, offered: int) -> float:
         """Delivered / offered."""

@@ -10,7 +10,7 @@ exact; the node itself is bookkeeping only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.buffer import RelayStore
 from repro.core.bundle import Bundle, BundleId, StoredBundle
@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.protocols.base import Protocol
 
 
-@dataclass
+@dataclass(slots=True)
 class EncounterHistory:
     """Per-node encounter timing, feeding the dynamic-TTL rule (Algo 1).
 
@@ -55,7 +55,7 @@ class EncounterHistory:
         self.last_encounter_time = now
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeCounters:
     """Per-node event counters (diagnostics and signaling metrics)."""
 
@@ -81,6 +81,9 @@ class Node:
     ) -> None:
         self.id = node_id
         self.relay = RelayStore(buffer_capacity)
+        #: mutations of the origin store (the relay store keeps its own
+        #: counter); see :attr:`store_epoch`
+        self._origin_epoch = 0
         #: buffer drop policy consulted by the protocol when the relay
         #: store is full (``reject`` = historical refuse-incoming default)
         self.drop_policy: DropPolicy = drop_policy or RejectPolicy()
@@ -122,9 +125,28 @@ class Node:
         """
         return list(self.origin.values()) + self.relay.values()
 
+    def iter_sendable(self) -> "Iterator[StoredBundle]":
+        """Allocation-light :meth:`sendable`: iterate, don't materialise.
+
+        Callers must not mutate either store while iterating; collect ids
+        first (or use :meth:`sendable`) when removals follow.
+        """
+        yield from self.origin.values()
+        yield from self.relay.entries_view().values()
+
     def live_copy_count(self) -> int:
         """Number of live copies held (origin + relay)."""
         return len(self.origin) + len(self.relay)
+
+    @property
+    def store_epoch(self) -> int:
+        """Monotonic counter bumped by every origin/relay store mutation.
+
+        The incremental session planner caches candidate order per
+        (sender, receiver) direction and rebuilds it when this changes —
+        cheap O(1) invalidation instead of per-slot rebuilds.
+        """
+        return self._origin_epoch + self.relay.version
 
     # -------------------------------------------------------------- mutation
 
@@ -138,6 +160,7 @@ class Node:
             raise ValueError(f"bundle {bundle.bid} already present at node {self.id}")
         sb = StoredBundle(bundle=bundle, stored_at=now, is_origin=True)
         self.origin[bundle.bid] = sb
+        self._origin_epoch += 1
         return sb
 
     def remove_copy(self, bid: BundleId) -> StoredBundle:
@@ -147,6 +170,7 @@ class Node:
             KeyError: if no live copy exists.
         """
         if bid in self.origin:
+            self._origin_epoch += 1
             return self.origin.pop(bid)
         return self.relay.remove(bid)
 

@@ -28,8 +28,8 @@ executable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Protocol as TypingProtocol
+from itertools import chain
+from typing import TYPE_CHECKING, Callable, Protocol as TypingProtocol
 
 from repro.core.buffer import BufferFullError
 from repro.core.bundle import Bundle, BundleId, StoredBundle
@@ -62,14 +62,22 @@ class SimulationServices(TypingProtocol):
         """Set the node's stored-table footprint in (fractional) slots."""
 
 
-@dataclass
 class ControlMessage:
     """Control-plane payload exchanged at contact start.
 
     Attributes:
         sender: Originating node id.
         summary: Ids of bundles the sender holds or has consumed (the
-            summary vector of the anti-entropy session).
+            summary vector of the anti-entropy session). May be passed as
+            a zero-argument callable: it is then built **lazily** on first
+            access — in-simulation anti-entropy never reads the vector (the
+            session probes node state directly), so normal runs never pay
+            for its construction. Caveat: a lazy summary reflects the
+            sender's state *at access time*, not at contact start — a
+            protocol whose ``receive_control`` actually reads the peer's
+            summary must build it eagerly in ``control_payload``
+            (pass ``self._summary()``, not ``self._summary``) to get
+            pre-exchange snapshot semantics.
         delivered_ids: Per-bundle delivery knowledge (anti-packets for P-Q,
             the i-list for immunity).
         cumulative: Per-flow cumulative immunity tables:
@@ -78,11 +86,38 @@ class ControlMessage:
             PRoPHET delivery-predictability vectors).
     """
 
-    sender: int
-    summary: frozenset[BundleId] = frozenset()
-    delivered_ids: frozenset[BundleId] = frozenset()
-    cumulative: dict[int, int] = field(default_factory=dict)
-    extras: dict[str, object] = field(default_factory=dict)
+    __slots__ = ("sender", "_summary", "delivered_ids", "cumulative", "extras")
+
+    def __init__(
+        self,
+        sender: int,
+        summary: "frozenset[BundleId] | Callable[[], frozenset[BundleId]]" = frozenset(),
+        delivered_ids: frozenset[BundleId] = frozenset(),
+        cumulative: dict[int, int] | None = None,
+        extras: dict[str, object] | None = None,
+    ) -> None:
+        self.sender = sender
+        self._summary = summary
+        self.delivered_ids = delivered_ids
+        self.cumulative = {} if cumulative is None else cumulative
+        self.extras = {} if extras is None else extras
+
+    @property
+    def summary(self) -> frozenset[BundleId]:
+        """The summary vector; built (and cached) on first access if lazy."""
+        s = self._summary
+        if callable(s):
+            s = s()
+            self._summary = s
+        return s
+
+    def __repr__(self) -> str:
+        summary = "<lazy>" if callable(self._summary) else f"{len(self._summary)} ids"
+        return (
+            f"ControlMessage(sender={self.sender}, summary={summary}, "
+            f"delivered_ids={len(self.delivered_ids)}, "
+            f"cumulative={self.cumulative!r})"
+        )
 
 
 class Protocol:
@@ -92,6 +127,21 @@ class Protocol:
     name = "pure"
     #: Signaling-accounting category for protocol-specific control units.
     control_kind = "summary_vector"
+    #: True when this class carries real control-plane state (it overrides
+    #: any of ``control_payload`` / ``receive_control`` / ``control_units``).
+    #: Maintained automatically by ``__init_subclass__`` — the contact
+    #: session skips building/delivering control messages entirely when
+    #: both peers are stateless, which is every contact of the pure and
+    #: coins-only P-Q protocols.
+    exchanges_control = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.exchanges_control = (
+            cls.control_payload is not Protocol.control_payload
+            or cls.receive_control is not Protocol.receive_control
+            or cls.control_units is not Protocol.control_units
+        )
 
     def __init__(self, node: "Node", sim: SimulationServices, rng: "np.random.Generator") -> None:
         self.node = node
@@ -109,8 +159,14 @@ class Protocol:
     # ---------------------------------------------------------- control plane
 
     def control_payload(self, now: float) -> ControlMessage:
-        """Control message sent to the peer at contact start."""
-        return ControlMessage(sender=self.node.id, summary=self._summary())
+        """Control message sent to the peer at contact start.
+
+        The summary vector is passed lazily (as the bound ``_summary``
+        method): it is a *capability* of the anti-entropy session rather
+        than a structure the simulation consumes, so it is only built when
+        a protocol or test actually reads ``msg.summary``.
+        """
+        return ControlMessage(sender=self.node.id, summary=self._summary)
 
     def receive_control(self, msg: ControlMessage, now: float) -> None:
         """Process the peer's control message (purge, merge lists, ...)."""
@@ -125,10 +181,9 @@ class Protocol:
 
     def _summary(self) -> frozenset[BundleId]:
         """Summary vector: everything held or already consumed here."""
+        node = self.node
         return frozenset(
-            list(self.node.relay.ids())
-            + list(self.node.origin.keys())
-            + list(self.node.delivered.keys())
+            chain(node.relay.id_view(), node.origin, node.delivered)
         )
 
     # ------------------------------------------------------- delivery knowledge

@@ -31,7 +31,6 @@ simplification that only matters when contacts overlap heavily).
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING
 
 from repro.core.bundle import BundleId, StoredBundle
@@ -42,92 +41,115 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mobility.contact import Contact
 
 
-class ContactSession:
-    """One encounter's exchange state machine."""
+def begin_contact(
+    sim: "Simulation", contact: "Contact", session: "ContactSession | None" = None
+) -> "ContactSession | None":
+    """Contact-start processing: history, control exchange, first slot.
 
-    def __init__(self, sim: "Simulation", contact: "Contact") -> None:
+    The encounter bookkeeping (history, control-plane swap, signaling
+    accounting) runs for *every* contact; a :class:`ContactSession` — the
+    slot state machine — is only built when the encounter can carry at
+    least one bundle. Sub-``tx_time`` contacts are the majority of
+    encounters in dense traces, and they end here.
+
+    Returns:
+        The session driving the exchange, or None for zero-budget contacts.
+    """
+    now = contact.start
+    nodes = sim.nodes
+    node_a = nodes[contact.a]
+    node_b = nodes[contact.b]
+    proto_a, proto_b = node_a.protocol, node_b.protocol
+    node_a.history.note_encounter(now)
+    proto_a.on_encounter_started(node_b, now)
+    node_b.history.note_encounter(now)
+    proto_b.on_encounter_started(node_a, now)
+    # Control plane: both payloads' *consumed* fields (delivered_ids,
+    # cumulative tables, extras) are snapshots of pre-exchange state, then
+    # delivered — a symmetric, simultaneous swap. (The summary vector is
+    # lazy and unread in-simulation; see ControlMessage.) When neither
+    # protocol carries control state (pure epidemic, coins-only P-Q) the
+    # payloads would be inert, so only the signaling accounting runs.
+    if proto_a.exchanges_control or proto_b.exchanges_control:
+        msg_a = proto_a.control_payload(now)
+        msg_b = proto_b.control_payload(now)
+        units_a = proto_a.control_units(msg_a)
+        if units_a:
+            sim.count_control_units(node_a, proto_a.control_kind, units_a)
+        units_b = proto_b.control_units(msg_b)
+        if units_b:
+            sim.count_control_units(node_b, proto_b.control_kind, units_b)
+        proto_b.receive_control(msg_a, now)
+        proto_a.receive_control(msg_b, now)
+    # One summary vector each way, every protocol — accounted inline
+    # (this runs for every contact, exchange or not)
+    sim.metrics.signaling.summary_vector += 2
+    node_a.counters.control_units_sent += 1
+    node_b.counters.control_units_sent += 1
+    if session is None:
+        tx_time, budget = ContactSession.link_budget(sim, contact)
+        if not budget:
+            return None
+        session = ContactSession(sim, contact, tx_time=tx_time, budget=budget)
+    session._schedule_next(now)
+    return session
+
+
+class ContactSession:
+    """One encounter's exchange state machine.
+
+    Transfer *selection* lives in the session's planner (see
+    :mod:`repro.core.planner`); the session owns the slot clock, the
+    per-contact coin cache, and completion-time re-validation. Encounter
+    bookkeeping that precedes slot scheduling lives in
+    :func:`begin_contact`.
+    """
+
+    @staticmethod
+    def link_budget(sim: "Simulation", contact: "Contact") -> tuple[float, int]:
+        """(per-bundle transfer time, whole-bundle slot count) of a contact.
+
+        The transfer time is the slower of the two radios when
+        ``bundle_tx_time`` is per-node (heterogeneous devices); the budget
+        is ``floor(duration / tx_time)`` (int() truncation == floor for a
+        non-negative quotient). The one formula both
+        :func:`begin_contact`'s zero-budget gate and the session itself use.
+        """
+        tx_time = sim.link_tx_time(contact.a, contact.b)
+        return tx_time, int((contact.end - contact.start) / tx_time)
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        contact: "Contact",
+        tx_time: float | None = None,
+        budget: int | None = None,
+    ) -> None:
         self.sim = sim
         self.contact = contact
         self.node_a = sim.nodes[contact.a]  # lower id — transmits first
         self.node_b = sim.nodes[contact.b]
-        #: per-bundle transfer time on this link — the slower of the two
-        #: radios when bundle_tx_time is per-node (heterogeneous devices)
-        self.tx_time = sim.config.pair_tx_time(contact.a, contact.b)
-        self.budget = int(math.floor(contact.duration / self.tx_time))
+        if tx_time is None or budget is None:
+            tx_time, budget = self.link_budget(sim, contact)
+        self.tx_time = tx_time
+        self.budget = budget
         self.t_cursor = contact.start
         self.idle = False
-        #: (sender_id, bid) pairs whose P-Q coin failed this contact
-        self._coin_rejected: set[tuple[int, BundleId]] = set()
+        #: (sender_id, bid) pairs whose P-Q coin failed this contact;
+        #: allocated by the planner on the first failed flip
+        self._coin_rejected: set[tuple[int, BundleId]] | None = None
         self.transfers_completed = 0
+        #: created on first use — sub-``tx_time`` contacts (budget 0)
+        #: never plan, and at scale they are the majority of encounters
+        self.planner = None
 
     # --------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
         """Contact-start processing: history, control exchange, first slot."""
-        now = self.contact.start
-        for node, peer in (
-            (self.node_a, self.node_b),
-            (self.node_b, self.node_a),
-        ):
-            node.history.note_encounter(now)
-            node.protocol.on_encounter_started(peer, now)
-        # Control plane: both payloads are built from pre-exchange state,
-        # then delivered — a symmetric, simultaneous swap.
-        msg_a = self.node_a.protocol.control_payload(now)
-        msg_b = self.node_b.protocol.control_payload(now)
-        for sender, msg in ((self.node_a, msg_a), (self.node_b, msg_b)):
-            units = sender.protocol.control_units(msg)
-            if units:
-                self.sim.count_control_units(
-                    sender, sender.protocol.control_kind, units
-                )
-            self.sim.count_control_units(sender, "summary_vector", 1)
-        self.node_b.protocol.receive_control(msg_a, now)
-        self.node_a.protocol.receive_control(msg_b, now)
-        self._schedule_next(now)
+        begin_contact(self.sim, self.contact, session=self)
 
     # --------------------------------------------------------------- planning
-
-    def _receiver_can_take(self, receiver: "Node", sb: StoredBundle, now: float) -> bool:
-        return receiver.protocol.can_accept(sb.bundle, now)
-
-    def _candidates(
-        self, sender: "Node", receiver: "Node", now: float
-    ) -> list[StoredBundle]:
-        out: list[StoredBundle] = []
-        for sb in sender.sendable():
-            bid = sb.bid
-            if sb.is_expired(now):
-                continue  # expiry event fires at the same instant; skip now
-            if (sender.id, bid) in self._coin_rejected:
-                continue
-            if receiver.has_copy(bid):
-                continue
-            if receiver.protocol.knows_delivered(bid) or sender.protocol.knows_delivered(bid):
-                continue
-            if not self._receiver_can_take(receiver, sb, now):
-                continue
-            out.append(sb)
-        out.sort(
-            key=lambda sb: (
-                0 if sb.bundle.destination == receiver.id else 1,
-                sb.stored_at,
-                sb.bid,
-            )
-        )
-        return out
-
-    def _plan(self, now: float) -> tuple["Node", "Node", StoredBundle] | None:
-        """Next transfer: lower-ID sender preferred, coin flips cached."""
-        for sender, receiver in (
-            (self.node_a, self.node_b),
-            (self.node_b, self.node_a),
-        ):
-            for sb in self._candidates(sender, receiver, now):
-                if sender.protocol.should_offer(sb, receiver, now):
-                    return sender, receiver, sb
-                self._coin_rejected.add((sender.id, sb.bid))
-        return None
 
     def _schedule_next(self, now: float) -> None:
         if self.budget <= 0:
@@ -135,16 +157,20 @@ class ContactSession:
         slot_end = self.t_cursor + self.tx_time
         if slot_end > self.contact.end + 1e-9:
             return
-        pick = self._plan(now)
+        planner = self.planner
+        if planner is None:
+            planner = self.planner = self.sim._planner_factory(self)
+        pick = planner.plan(now)
         if pick is None:
             self.idle = True
             return
         sender, receiver, sb = pick
+        hook = self.sim.on_transfer_planned
+        if hook is not None:
+            hook(now, sender.id, receiver.id, sb.bid)
         self.t_cursor = slot_end
         self.sim.engine.at(
-            slot_end,
-            lambda: self._on_transfer_complete(sender, receiver, sb),
-            tag=f"xfer:{sb.bid}:{sender.id}->{receiver.id}",
+            slot_end, self._on_transfer_complete, sender, receiver, sb
         )
 
     # -------------------------------------------------------------- completion

@@ -18,10 +18,11 @@ from dataclasses import dataclass
 from repro.core.bundle import NO_EXPIRY, Bundle, BundleId, StoredBundle
 from repro.core.metrics import MetricsCollector
 from repro.core.node import Node
+from repro.core.planner import PLANNERS, planner_names
 from repro.core.policies import make_drop_policy
 from repro.core.protocols.registry import ProtocolConfig
 from repro.core.results import RunResult
-from repro.core.session import ContactSession
+from repro.core.session import begin_contact
 from repro.core.workload import Flow, total_offered
 from repro.des.engine import Engine
 from repro.des.rng import RngHub
@@ -133,12 +134,18 @@ class Simulation:
         *,
         config: SimulationConfig | None = None,
         seed: int = 0,
+        planner: str = "incremental",
+        record_occupancy: bool = False,
     ) -> None:
         if not flows:
             raise ValueError("at least one flow is required")
         for f in flows:
             if not (0 <= f.source < trace.num_nodes and 0 <= f.destination < trace.num_nodes):
                 raise ValueError(f"flow {f} references nodes outside the trace population")
+        if planner not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {planner!r}; available: {', '.join(planner_names())}"
+            )
         self.trace = trace
         self.protocol_config = protocol_config
         self.flows = flows
@@ -146,21 +153,40 @@ class Simulation:
         self.config.validate_population(trace.num_nodes)
         self.seed = seed
         self.engine = Engine()
+        #: session-planner factory — ``incremental`` (production) and
+        #: ``reference`` (the slow oracle) are bit-identical by contract
+        self._planner_factory = PLANNERS[planner]
+        #: optional observer called as ``hook(now, sender_id, receiver_id,
+        #: bid)`` whenever a session plans a transfer (planner-equivalence
+        #: tests record the pick sequence through this)
+        self.on_transfer_planned = None
+        #: :meth:`link_tx_time` fast path: the constant per-link transfer
+        #: time when the population is homogeneous, else None
+        self._uniform_tx_time = (
+            None
+            if isinstance(self.config.bundle_tx_time, tuple)
+            else float(self.config.bundle_tx_time)
+        )
         self.metrics = MetricsCollector(
-            trace.num_nodes, self.config.capacities(trace.num_nodes)
+            trace.num_nodes,
+            self.config.capacities(trace.num_nodes),
+            record_occupancy=record_occupancy,
         )
         hub = RngHub(seed)
         self.nodes: list[Node] = []
         for i in range(trace.num_nodes):
+            # Lazy streams: the generators (and their SeedSequence math)
+            # are only built if the policy/protocol actually draws, and a
+            # materialised stream is identical to the eager one.
             node = Node(
                 i,
                 self.config.capacity_for(i),
                 drop_policy=make_drop_policy(
-                    self.config.drop_policy, rng=hub.stream("drop-policy", i)
+                    self.config.drop_policy, rng=hub.lazy_stream("drop-policy", i)
                 ),
             )
             node.protocol = protocol_config.build(
-                node, self, hub.stream("protocol", i)
+                node, self, hub.lazy_stream("protocol", i)
             )
             self.nodes.append(node)
         self._offered = total_offered(flows)
@@ -173,6 +199,13 @@ class Simulation:
     @property
     def now(self) -> float:
         return self.engine.now
+
+    def link_tx_time(self, a: int, b: int) -> float:
+        """Per-bundle transfer time of the (a, b) link (cached fast path)."""
+        uniform = self._uniform_tx_time
+        if uniform is not None:
+            return uniform
+        return self.config.pair_tx_time(a, b)
 
     def remove_copy(self, node: Node, bid: BundleId, reason: str) -> None:
         """Remove a live copy with full metric/counter bookkeeping."""
@@ -209,9 +242,7 @@ class Simulation:
             # Zero/negative TTL: the copy dies right away, but via an event
             # so ordering with the current action stays well-defined.
             expiry = self.now
-        sb.expiry_event = self.engine.at(
-            expiry, lambda: self._on_expiry(node, sb), tag=f"expire:{sb.bid}@{node.id}"
-        )
+        sb.expiry_event = self.engine.at(expiry, self._on_expiry, node, sb)
 
     def count_control_units(self, node: Node, kind: str, units: int) -> None:
         self.metrics.on_control_units(kind, units)
@@ -236,6 +267,11 @@ class Simulation:
         self.metrics.on_copy_delta(bundle.bid, +1, now)
         self._delivered_total += 1
         receiver.protocol.on_delivered(bundle, now)
+        if self._delivered_total >= self._offered:
+            # Success: stop after the current event completes. Halting here
+            # replaces a stop-predicate evaluated before every event — the
+            # run ends at the same event boundary either way.
+            self.engine.halt()
 
     def store_received_copy(
         self,
@@ -271,6 +307,9 @@ class Simulation:
             return
         self.remove_copy(node, sb.bid, reason="expired")
 
+    def _begin_contact(self, contact) -> None:
+        begin_contact(self, contact)
+
     def _inject_flow(self, flow: Flow) -> None:
         now = self.engine.now
         source = self.nodes[flow.source]
@@ -305,14 +344,27 @@ class Simulation:
             )
         horizon = self.trace.horizon
         for flow in self.flows:
+            if flow.created_at > horizon:
+                raise ValueError(
+                    f"flow {flow.flow_id} is created at t={flow.created_at}, "
+                    f"after the trace horizon t={horizon}: its bundles would "
+                    "never be offered yet still count against the delivery "
+                    "ratio — extend the trace or move the flow earlier"
+                )
             if flow.created_at == 0.0:
                 self._inject_flow(flow)
             else:
-                self.engine.at(flow.created_at, lambda f=flow: self._inject_flow(f))
-        for contact in self.trace:
-            session = ContactSession(self, contact)
-            self.engine.at(contact.start, session.start, tag=f"contact:{contact.pair}")
-        self.engine.run(until=horizon, stop_when=self._all_delivered)
+                self.engine.at(flow.created_at, self._inject_flow, flow)
+        # The trace is time-sorted (ContactTrace sorts on construction), so
+        # the whole contact schedule bulk-loads in O(n) — no per-contact
+        # heap push before t=0. Sessions are constructed when their contact
+        # actually begins: a run that delivers early never pays for the
+        # contacts behind the stop point.
+        self.engine.schedule_sorted(
+            (contact.start, self._begin_contact, (contact,))
+            for contact in self.trace
+        )
+        self.engine.run(until=horizon)
         end_time = self.engine.now
         success = self._all_delivered()
         delay = self.metrics.completion_time(self._offered) if success else None

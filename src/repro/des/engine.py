@@ -1,9 +1,11 @@
 """The discrete-event simulation engine.
 
 An :class:`Engine` owns a clock and an :class:`~repro.des.queue.EventQueue`.
-Client code schedules zero-argument callbacks at absolute times (``at``) or
-relative delays (``after``); :meth:`Engine.run` fires them in order while
-advancing the clock monotonically.
+Client code schedules callbacks at absolute times (``at``) or relative
+delays (``after``); :meth:`Engine.run` fires them in order while advancing
+the clock monotonically. Callback arguments are passed positionally
+(``engine.at(t, fn, a, b)``) so hot schedulers never allocate a closure per
+event.
 
 Stop conditions: an explicit time horizon, a predicate evaluated after every
 event, an event budget (runaway protection), or queue exhaustion — whichever
@@ -14,8 +16,9 @@ comes first. The reason the loop ended is reported as a
 from __future__ import annotations
 
 import enum
+import heapq
 import math
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.des.event import EventHandle, PRIORITY_NORMAL
 from repro.des.queue import EventQueue
@@ -64,12 +67,12 @@ class Engine:
     def at(
         self,
         time: float,
-        action: Callable[[], Any],
-        *,
+        action: Callable[..., Any],
+        *args: Any,
         priority: int = PRIORITY_NORMAL,
-        tag: str = "",
+        tag: "str | Callable[[], str]" = "",
     ) -> EventHandle:
-        """Schedule ``action`` at absolute ``time``.
+        """Schedule ``action(*args)`` at absolute ``time``.
 
         Raises:
             ValueError: if ``time`` is in the past (strictly before ``now``).
@@ -78,20 +81,49 @@ class Engine:
             raise ValueError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        return self._queue.push(time, action, priority=priority, tag=tag)
+        return self._queue.push(time, action, *args, priority=priority, tag=tag)
 
     def after(
         self,
         delay: float,
-        action: Callable[[], Any],
-        *,
+        action: Callable[..., Any],
+        *args: Any,
         priority: int = PRIORITY_NORMAL,
-        tag: str = "",
+        tag: "str | Callable[[], str]" = "",
     ) -> EventHandle:
-        """Schedule ``action`` ``delay`` time units from now (delay >= 0)."""
+        """Schedule ``action(*args)`` ``delay`` time units from now (>= 0)."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        return self._queue.push(self._now + delay, action, priority=priority, tag=tag)
+        return self._queue.push(
+            self._now + delay, action, *args, priority=priority, tag=tag
+        )
+
+    def schedule_sorted(
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple]]
+    ) -> int:
+        """Bulk-load time-ordered ``(time, action, args)`` triples (see queue docs).
+
+        The simulation driver uses this to load a whole contact trace — a
+        list already sorted by start time — in O(n) instead of n heap pushes.
+
+        Raises:
+            ValueError: if the first time lies in the past.
+        """
+        it = iter(items)
+        try:
+            first = next(it)
+        except StopIteration:
+            return 0
+        if first[0] < self._now:
+            raise ValueError(
+                f"cannot schedule at t={first[0]} before current time t={self._now}"
+            )
+
+        def _chained() -> Iterable[tuple[float, Callable[..., Any]]]:
+            yield first
+            yield from it
+
+        return self._queue.schedule_sorted(_chained())
 
     def cancel(self, handle: EventHandle) -> bool:
         """Cancel a pending event. Returns True if it was still pending."""
@@ -127,6 +159,13 @@ class Engine:
         """
         self._halted = False
         fired_this_call = 0
+        # Fused peek+pop over the queue's heap: one dead-entry skim and one
+        # heap access per fired event, no per-event method-call pairs. The
+        # entry layout (time, priority, seq, handle) is the queue's
+        # documented internal representation.
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
         while True:
             if self._halted:
                 return StopCondition.HALTED
@@ -134,21 +173,21 @@ class Engine:
                 return StopCondition.PREDICATE
             if max_events is not None and fired_this_call >= max_events:
                 return StopCondition.BUDGET
-            nxt = self._queue.peek()
-            if nxt is None:
+            while heap and heap[0][3].cancelled:  # skim, inlined
+                heappop(heap)
+                if queue._dead:
+                    queue._dead -= 1
+            if not heap or heap[0][0] > until:
                 if math.isfinite(until) and until > self._now:
                     self._now = until
-                return StopCondition.EXHAUSTED
-            if nxt.time > until:
-                if math.isfinite(until) and until > self._now:
-                    self._now = until
-                return StopCondition.HORIZON
-            ev = self._queue.pop()
-            assert ev is not None  # peek() returned a live event
+                return StopCondition.EXHAUSTED if not heap else StopCondition.HORIZON
+            handle = heappop(heap)[3]
+            handle.fired = True
+            ev = handle.event
             self._now = ev.time
             self._events_fired += 1
             fired_this_call += 1
-            ev.action()
+            ev.action(*ev.args)
 
     def step(self) -> bool:
         """Fire exactly one event. Returns False if the queue was empty."""
@@ -157,5 +196,5 @@ class Engine:
             return False
         self._now = ev.time
         self._events_fired += 1
-        ev.action()
+        ev.action(*ev.args)
         return True

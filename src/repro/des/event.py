@@ -6,11 +6,21 @@ priority values, then insertion order. The sequence number makes the ordering
 priority fire in the order they were scheduled, which the DTN simulation
 relies on (e.g. a contact-start must be processed before transfers scheduled
 inside the contact at the same timestamp).
+
+These classes sit on the innermost simulation loop (one :class:`Event` +
+:class:`EventHandle` pair per scheduled occurrence, 10⁴–10⁶ per run), so
+they are hand-rolled ``__slots__`` classes rather than dataclasses: no
+generated ``__init__`` indirection, no per-instance ``__dict__``, and no
+eager work in the constructor.
+
+Debug tags are **lazy**: ``tag`` may be a plain string or a zero-argument
+callable producing one. Hot schedulers pass no tag at all — an event is
+already self-describing through ``action``/``args`` (see
+:meth:`Event.describe`) — so no f-string is ever built in normal runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 #: Default priority for ordinary events.
@@ -23,7 +33,6 @@ PRIORITY_EARLY = -10
 PRIORITY_LATE = 10
 
 
-@dataclass(frozen=True, slots=True)
 class Event:
     """A scheduled occurrence.
 
@@ -32,25 +41,66 @@ class Event:
             non-negative.
         priority: Tie-break for events at the same time; lower fires first.
         seq: Monotonic sequence number assigned by the queue; final tie-break.
-        action: Zero-argument callable invoked when the event fires.
-        tag: Optional free-form label used for debugging and test assertions.
+        action: Callable invoked with ``*args`` when the event fires.
+        args: Positional arguments for ``action``. Passing arguments here
+            instead of closing over them avoids allocating a closure per
+            scheduled event.
     """
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], Any]
-    tag: str = ""
+    __slots__ = ("time", "priority", "seq", "action", "args", "_tag")
+
+    def __init__(
+        self,
+        time: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+        seq: int = 0,
+        action: Callable[..., Any] | None = None,
+        args: tuple = (),
+        tag: "str | Callable[[], str]" = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.args = args
+        self._tag = tag
+
+    @property
+    def tag(self) -> str:
+        """Debug label; resolved (and cached) on first access when lazy."""
+        t = self._tag
+        if callable(t):
+            t = t()
+            self._tag = t
+        return t
+
+    def describe(self) -> str:
+        """Human rendering for debugging: tag if set, else action + args."""
+        if self._tag:
+            return self.tag
+        name = getattr(self.action, "__qualname__", repr(self.action))
+        if not self.args:
+            return name
+        return f"{name}{self.args!r}"
 
     def sort_key(self) -> tuple[float, int, int]:
         """Return the total-order key used by the event queue."""
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, "
+            f"{self.describe()})"
+        )
 
 
-@dataclass(slots=True)
 class EventHandle:
     """Cancellation handle returned by :meth:`EventQueue.push`.
 
@@ -58,9 +108,14 @@ class EventHandle:
     popped. ``alive`` is False once the event fired or was cancelled.
     """
 
-    event: Event
-    cancelled: bool = field(default=False)
-    fired: bool = field(default=False)
+    __slots__ = ("event", "cancelled", "fired")
+
+    def __init__(
+        self, event: Event, cancelled: bool = False, fired: bool = False
+    ) -> None:
+        self.event = event
+        self.cancelled = cancelled
+        self.fired = fired
 
     @property
     def alive(self) -> bool:
@@ -74,7 +129,11 @@ class EventHandle:
             True if this call cancelled the event, False if it had already
             fired or been cancelled.
         """
-        if self.alive:
+        if not self.cancelled and not self.fired:
             self.cancelled = True
             return True
         return False
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "fired" if self.fired else "pending"
+        return f"EventHandle({self.event!r}, {state})"

@@ -4,12 +4,23 @@
 than removed eagerly, which keeps cancellation O(1). A compaction pass runs
 automatically when more than half the heap is dead weight, bounding memory to
 O(live events).
+
+Hot-path layout: heap entries are flat ``(time, priority, seq, handle)``
+tuples. Tuple comparison resolves entirely inside the C comparison loop —
+``seq`` is unique, so the handle in the last slot is never compared — and no
+separate sort-key tuple is allocated per event. The fused
+:meth:`EventQueue.peek_time` + :meth:`EventQueue.pop_next` pair skims the
+heap top exactly once per fired event; :meth:`~repro.des.engine.Engine.run`
+goes one step further and inlines that skim directly over this entry layout
+(which is why compaction must replace ``_heap`` contents in place, never
+rebind the list). :meth:`schedule_sorted` bulk-loads an already-time-ordered
+event list without N× ``heappush``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.des.event import Event, EventHandle, PRIORITY_NORMAL
 
@@ -23,7 +34,7 @@ class EventQueue:
     _COMPACT_MIN = 64
 
     def __init__(self) -> None:
-        self._heap: list[tuple[tuple[float, int, int], EventHandle]] = []
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._seq = 0
         self._dead = 0
 
@@ -42,30 +53,92 @@ class EventQueue:
     def push(
         self,
         time: float,
-        action: Callable[[], Any],
-        *,
+        action: Callable[..., Any],
+        *args: Any,
         priority: int = PRIORITY_NORMAL,
-        tag: str = "",
+        tag: "str | Callable[[], str]" = "",
     ) -> EventHandle:
-        """Schedule ``action`` at ``time`` and return a cancellation handle.
+        """Schedule ``action(*args)`` at ``time`` and return a cancel handle.
 
         Raises:
             ValueError: if ``time`` is negative or not finite.
         """
         if not (time >= 0.0):  # also rejects NaN
             raise ValueError(f"event time must be finite and >= 0, got {time!r}")
-        ev = Event(time=time, priority=priority, seq=self._seq, action=action, tag=tag)
-        self._seq += 1
-        handle = EventHandle(ev)
-        heapq.heappush(self._heap, (ev.sort_key(), handle))
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(Event(time, priority, seq, action, args, tag))
+        heapq.heappush(self._heap, (time, priority, seq, handle))
         return handle
+
+    def schedule_sorted(
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple]]
+    ) -> int:
+        """Bulk-load ``(time, action, args)`` triples already ordered by time.
+
+        The triples are appended with normal priority and consecutive
+        sequence numbers — exactly the events N individual :meth:`push`
+        calls would create — but without N heap sift-ups: when the queue is
+        empty the sorted run *is* a valid heap, and otherwise one O(n)
+        ``heapify`` restores the invariant.
+
+        Returns:
+            The number of events scheduled.
+
+        Raises:
+            ValueError: if a time is negative/NaN or the times decrease.
+        """
+        heap = self._heap
+        preexisting = len(heap)
+        append = heap.append
+        seq = self._seq
+        prev = 0.0
+        for time, action, args in items:
+            if not (time >= prev):  # also rejects NaN
+                raise ValueError(
+                    "schedule_sorted requires finite, non-negative, "
+                    f"non-decreasing times; got {time!r} after {prev!r}"
+                )
+            prev = time
+            handle = EventHandle(Event(time, PRIORITY_NORMAL, seq, action, args))
+            append((time, PRIORITY_NORMAL, seq, handle))
+            seq += 1
+        scheduled = len(heap) - preexisting
+        self._seq = seq
+        if preexisting and scheduled:
+            heapq.heapify(heap)
+        return scheduled
 
     def peek(self) -> Event | None:
         """Return the earliest live event without removing it, or None."""
         self._skim()
         if not self._heap:
             return None
-        return self._heap[0][1].event
+        return self._heap[0][3].event
+
+    def peek_time(self) -> float | None:
+        """Skim dead entries, then return the earliest live event time.
+
+        Returns None when no live event is pending. After a non-None
+        return the heap top is guaranteed live, so :meth:`pop_next` may be
+        called without re-skimming — the fused fast path of the run loop.
+        """
+        heap = self._heap
+        if heap and heap[0][3].cancelled:
+            self._skim()
+        if not heap:
+            return None
+        return heap[0][0]
+
+    def pop_next(self) -> Event:
+        """Pop the heap top unconditionally (precondition: top is live).
+
+        Only valid immediately after a non-None :meth:`peek_time` (or
+        :meth:`peek`) with no intervening mutation.
+        """
+        handle = heapq.heappop(self._heap)[3]
+        handle.fired = True
+        return handle.event
 
     def pop(self) -> Event | None:
         """Remove and return the earliest live event, or None if empty.
@@ -75,7 +148,7 @@ class EventQueue:
         self._skim()
         if not self._heap:
             return None
-        _, handle = heapq.heappop(self._heap)
+        handle = heapq.heappop(self._heap)[3]
         handle.fired = True
         return handle.event
 
@@ -90,31 +163,38 @@ class EventQueue:
         self._maybe_compact()
 
     def clear(self) -> None:
-        """Drop all pending events (their handles become cancelled)."""
-        for _, handle in self._heap:
-            if handle.alive:
-                handle.cancelled = True
+        """Drop all pending events (their handles become cancelled).
+
+        Cancellation goes through :meth:`EventHandle.cancel` — the one
+        cancellation path — so already-fired handles are left untouched.
+        """
+        for entry in self._heap:
+            entry[3].cancel()
         self._heap.clear()
         self._dead = 0
 
     def iter_pending(self) -> Iterator[Event]:
         """Yield live events in an unspecified order (testing/introspection)."""
-        for _, handle in self._heap:
-            if handle.alive:
-                yield handle.event
+        for entry in self._heap:
+            if entry[3].alive:
+                yield entry[3].event
 
     def _skim(self) -> None:
         """Drop cancelled events sitting at the heap top."""
-        while self._heap and self._heap[0][1].cancelled:
-            heapq.heappop(self._heap)
-            self._dead = max(0, self._dead - 1)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            if self._dead:
+                self._dead -= 1
 
     def _maybe_compact(self) -> None:
         if (
             len(self._heap) >= self._COMPACT_MIN
             and self._dead > len(self._heap) * self._COMPACT_RATIO
         ):
-            live = [(k, h) for k, h in self._heap if h.alive]
+            live = [entry for entry in self._heap if entry[3].alive]
             heapq.heapify(live)
-            self._heap = live
+            # in-place replacement: the engine's fused run loop holds a
+            # direct reference to this list across events
+            self._heap[:] = live
             self._dead = 0

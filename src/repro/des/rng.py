@@ -15,17 +15,20 @@ endpoint selection, P-Q coin flips, …) draws from its *own*
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Iterable
 
 import numpy as np
 
 
+@lru_cache(maxsize=256)
 def _key_to_ints(key: str) -> tuple[int, ...]:
     """Hash a textual key into a stable tuple of uint32 spawn words.
 
     ``SeedSequence`` accepts extra entropy words; hashing the key keeps the
     mapping stable across Python processes (unlike ``hash()``, which is
-    salted).
+    salted). Component names recur constantly (two streams per node per
+    run), so the digest is memoised.
     """
     digest = hashlib.sha256(key.encode("utf-8")).digest()
     return tuple(int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4))
@@ -88,3 +91,43 @@ class RngHub:
         if not keys:
             raise ValueError("at least one key is required")
         return np.random.default_rng(derive_seed(self.master_seed, *keys))
+
+    def lazy_stream(self, *keys: str | int) -> "LazyStream":
+        """A deferred :meth:`stream`: the generator is built on first draw.
+
+        Simulation setup hands two streams to every node, but most
+        protocols never draw (pure epidemic consumes no randomness; P-Q
+        with P=Q=1 never flips) — deferring skips the SeedSequence/PCG64
+        construction for streams that are never touched. A materialised
+        lazy stream produces exactly the draws ``stream(*keys)`` would.
+        """
+        if not keys:
+            raise ValueError("at least one key is required")
+        return LazyStream(self, keys)
+
+
+class LazyStream:
+    """Attribute proxy that materialises an :class:`RngHub` stream on use."""
+
+    __slots__ = ("_hub", "_keys", "_rng")
+
+    def __init__(self, hub: RngHub, keys: tuple[str | int, ...]) -> None:
+        self._hub = hub
+        self._keys = keys
+        self._rng = None
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying generator (materialising it if needed)."""
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = self._hub.stream(*self._keys)
+        return rng
+
+    def __getattr__(self, name: str):
+        # only reached for names not in __slots__, i.e. Generator API
+        return getattr(self.generator, name)
+
+    def __repr__(self) -> str:
+        state = "materialised" if self._rng is not None else "deferred"
+        return f"LazyStream({self._keys!r}, {state})"

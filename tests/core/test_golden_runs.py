@@ -21,75 +21,36 @@ If a change *intentionally* alters simulation semantics, regenerate with::
 
 from __future__ import annotations
 
+import importlib.util
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.core.protocols.registry import make_protocol_config
 from repro.core.sweep import SweepConfig, run_single
 
-#: (protocol name, load, replication) → exact seed-scenario metrics.
-GOLDEN: dict[tuple[str, int, int], dict[str, float | int | None]] = {
-    ("pure", 10, 0): dict(
-        delivered=10,
-        delay=9504.79563371244,
-        transmissions=41,
-        buffer_occupancy=0.09645330709440073,
-        peak_occupancy=0.25833333333333336,
-        duplication_rate=0.0946318698294398,
-        end_time=9504.79563371244,
-    ),
-    ("pure", 30, 1): dict(
-        delivered=30,
-        delay=200638.0333761878,
-        transmissions=130,
-        buffer_occupancy=0.7822151639604117,
-        peak_occupancy=0.8333333333333334,
-        duplication_rate=0.11646657918739857,
-        end_time=200638.0333761878,
-    ),
-    ("ttl", 10, 0): dict(
-        delivered=10,
-        delay=21239.336647955755,
-        transmissions=39,
-        buffer_occupancy=0.003667423638634794,
-        peak_occupancy=0.03333333333333333,
-        duplication_rate=0.08630447725195987,
-        end_time=21239.336647955755,
-    ),
-    ("ttl", 30, 1): dict(
-        delivered=30,
-        delay=217142.23887968616,
-        transmissions=510,
-        buffer_occupancy=0.005895168217461815,
-        peak_occupancy=0.09166666666666666,
-        duplication_rate=0.08543936932736591,
-        end_time=217142.23887968616,
-    ),
-    ("pq", 10, 0): dict(
-        delivered=10,
-        delay=9504.79563371244,
-        transmissions=30,
-        buffer_occupancy=0.04834130565739798,
-        peak_occupancy=0.12083333333333335,
-        duplication_rate=0.09587998441010431,
-        end_time=9504.79563371244,
-    ),
-    ("pq", 30, 1): dict(
-        delivered=30,
-        delay=46062.10360502355,
-        transmissions=232,
-        buffer_occupancy=0.22723092182253896,
-        peak_occupancy=0.5283333333333337,
-        duplication_rate=0.13439470267943393,
-        end_time=46062.10360502355,
-    ),
-}
 
-PROTOCOL_KWARGS = {
-    "pure": {},
-    "ttl": {"ttl": 300.0},
-    # the anti-packet family: P-Q coins with destination-driven purging
-    "pq": {"p": 1.0, "q": 1.0, "anti_packets": True},
-}
+def _load_bench_sim():
+    """The pins live in tools/bench_sim.py (its --verify gate re-checks
+    them in CI); loading them from there keeps a single source of truth."""
+    if "bench_sim" in sys.modules:
+        return sys.modules["bench_sim"]
+    path = Path(__file__).resolve().parents[2] / "tools" / "bench_sim.py"
+    spec = importlib.util.spec_from_file_location("bench_sim", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_sim"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+_bench_sim = _load_bench_sim()
+
+#: (protocol name, load, replication) → exact seed-scenario metrics.
+GOLDEN = _bench_sim.GOLDEN
+
+#: pure / ttl / pq-anti-packet constructor kwargs, shared with the bench.
+PROTOCOL_KWARGS = _bench_sim.PROTOCOLS
 
 
 @pytest.mark.parametrize("key", sorted(GOLDEN), ids=lambda k: f"{k[0]}-l{k[1]}-r{k[2]}")

@@ -175,6 +175,7 @@ def _contention_run(policy: str, *, capacity=2, seed=0):
         flows,
         config=SimulationConfig(buffer_capacity=capacity, drop_policy=policy),
         seed=seed,
+        record_occupancy=True,
     )
     return sim, sim.run()
 

@@ -82,6 +82,7 @@ class TestPolicyInvariants:
             flows,
             config=SimulationConfig(buffer_capacity=capacity, drop_policy=policy),
             seed=seed,
+            record_occupancy=True,
         )
         result = sim.run()
 

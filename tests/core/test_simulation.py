@@ -158,3 +158,38 @@ class TestRunResultShape:
         row = result.as_row()
         assert row["protocol"] == "immunity"
         assert row["delivered"] == result.delivered
+
+
+class TestFlowHorizonValidation:
+    def test_flow_created_after_horizon_rejected(self):
+        trace = micro_trace(CHAIN_ROWS, 4)  # horizon derived from last contact
+        horizon = trace.horizon
+        flows = [
+            Flow(flow_id=0, source=0, destination=3, num_bundles=2),
+            Flow(
+                flow_id=1,
+                source=0,
+                destination=3,
+                num_bundles=1,
+                created_at=horizon + 1.0,
+            ),
+        ]
+        sim = Simulation(trace, make_protocol_config("pure"), flows)
+        with pytest.raises(ValueError, match="after the trace horizon"):
+            sim.run()
+
+    def test_flow_created_at_horizon_allowed(self):
+        trace = micro_trace(CHAIN_ROWS, 4)
+        flows = [
+            Flow(
+                flow_id=0,
+                source=0,
+                destination=3,
+                num_bundles=1,
+                created_at=trace.horizon,
+            )
+        ]
+        # injected exactly at the (inclusive) horizon: offered, undeliverable
+        result = Simulation(trace, make_protocol_config("pure"), flows).run()
+        assert result.delivered == 0
+        assert result.success is False

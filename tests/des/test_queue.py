@@ -161,3 +161,151 @@ class TestQueueProperties:
             ev = q.pop()
             got.append((ev.time, int(ev.tag)))
         assert got == expected
+
+
+class TestQueueInvariants:
+    """Lifecycle invariants: clear → push → pop, dead-count consistency."""
+
+    def test_clear_routes_through_handle_cancel(self):
+        q = EventQueue()
+        handles = [q.push(float(i), _noop) for i in range(5)]
+        fired = q.pop()
+        assert fired is not None and handles[0].fired
+        q.clear()
+        # fired handles stay fired (cancel() is a no-op on them) …
+        assert handles[0].fired and not handles[0].cancelled
+        # … pending ones are cancelled through the one cancellation path
+        assert all(h.cancelled and not h.fired for h in handles[1:])
+
+    def test_clear_then_push_then_pop(self):
+        q = EventQueue()
+        for i in range(10):
+            q.push(float(i), _noop)
+        q.clear()
+        assert len(q) == 0 and not q
+        h = q.push(3.0, _noop, tag="fresh")
+        assert len(q) == 1
+        ev = q.pop()
+        assert ev.tag == "fresh" and h.fired
+        assert q.pop() is None and len(q) == 0
+
+    def test_seq_monotonic_across_clear(self):
+        q = EventQueue()
+        q.push(0.0, _noop)
+        before = q.next_seq
+        q.clear()
+        q.push(0.0, _noop)
+        assert q.next_seq == before + 1
+
+    def test_dead_count_consistent_after_compaction(self):
+        q = EventQueue()
+        live = [q.push(float(2_000 + i), _noop) for i in range(8)]
+        dead = [q.push(float(i), _noop) for i in range(300)]
+        for h in dead:
+            if h.cancel():
+                q.notify_cancelled()
+        # compaction ran at least once (the heap shrank well below the 308
+        # entries pushed); whatever dead weight re-accumulated afterwards,
+        # the dead count must exactly match the dead entries in the heap
+        assert len(q._heap) < 100
+        actually_dead = sum(1 for e in q._heap if not e[3].alive)
+        assert q._dead == actually_dead
+        assert len(q) == 8
+        q.clear()
+        assert q._dead == 0 and len(q) == 0 and len(q._heap) == 0
+        assert all(h.cancelled for h in live)
+
+    def test_double_cancel_does_not_corrupt_dead_count(self):
+        q = EventQueue()
+        h = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert h.cancel() is True
+        q.notify_cancelled()
+        assert h.cancel() is False  # second cancel is refused by the handle
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+
+
+class TestScheduleSorted:
+    def test_bulk_load_empty_queue_pops_in_order(self):
+        q = EventQueue()
+        n = q.schedule_sorted((float(i), _noop, ()) for i in range(50))
+        assert n == 50 and len(q) == 50
+        times = [q.pop().time for _ in range(50)]
+        assert times == [float(i) for i in range(50)]
+
+    def test_bulk_load_merges_with_existing_events(self):
+        q = EventQueue()
+        q.push(2.5, _noop, tag="mid")
+        q.push(0.5, _noop, tag="early")
+        q.schedule_sorted([(1.0, _noop, ()), (2.0, _noop, ()), (3.0, _noop, ())])
+        popped = [q.pop().time for _ in range(5)]
+        assert popped == [0.5, 1.0, 2.0, 2.5, 3.0]
+
+    def test_equal_times_keep_insertion_order(self):
+        q = EventQueue()
+
+        def mk(i):
+            return lambda: i
+
+        q.schedule_sorted([(1.0, mk(i), ()) for i in range(5)])
+        assert [q.pop().action() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_rejects_decreasing_times(self):
+        q = EventQueue()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            q.schedule_sorted([(2.0, _noop, ()), (1.0, _noop, ())])
+
+    def test_rejects_negative_and_nan_times(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule_sorted([(-1.0, _noop, ())])
+        with pytest.raises(ValueError):
+            q.schedule_sorted([(float("nan"), _noop, ())])
+
+    def test_bulk_events_carry_args(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_sorted([(0.0, seen.append, ("x",))])
+        ev = q.pop()
+        ev.action(*ev.args)
+        assert seen == ["x"]
+
+    def test_empty_iterable_is_noop(self):
+        q = EventQueue()
+        assert q.schedule_sorted([]) == 0
+        assert len(q) == 0
+
+
+class TestFusedPeekPop:
+    def test_peek_time_then_pop_next(self):
+        q = EventQueue()
+        q.push(4.0, _noop, tag="b")
+        q.push(1.0, _noop, tag="a")
+        assert q.peek_time() == 1.0
+        assert q.pop_next().tag == "a"
+        assert q.peek_time() == 4.0
+
+    def test_peek_time_skims_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, _noop)
+        q.push(2.0, _noop, tag="live")
+        h.cancel()
+        assert q.peek_time() == 2.0
+        assert q.pop_next().tag == "live"
+        assert q.peek_time() is None
+
+    def test_lazy_tag_resolved_on_access(self):
+        q = EventQueue()
+        built = []
+
+        def render():
+            built.append(True)
+            return "lazy:1"
+
+        q.push(1.0, _noop, tag=render)
+        assert built == []  # nothing built at schedule time
+        ev = q.pop()
+        assert ev.tag == "lazy:1"
+        assert ev.tag == "lazy:1"  # cached
+        assert built == [True]

@@ -1,0 +1,180 @@
+"""Shared benchmark plumbing: JSON reports and baseline regression gates.
+
+Every ``tools/bench_*.py`` script emits the same report envelope (benchmark
+name, parameters, a ``generated_at`` stamp, and a ``results`` table) and the
+perf CI job compares fresh measurements against a baseline committed to the
+repository. This module owns that boilerplate so the individual benchmarks
+only describe *what* they measure.
+
+A report is a plain dict; :func:`write_report` wraps it in the envelope and
+writes pretty-printed JSON. :func:`compare_to_baseline` matches result rows
+between a fresh report and a baseline by a key function and fails rows whose
+throughput metric regressed beyond a tolerance — wall-clock on shared CI
+runners is noisy, so gates should use a generous margin (the perf job uses
+25%) and smoke-sized workloads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Iterable, Mapping, Sequence
+
+Row = Mapping[str, object]
+
+
+def report_envelope(benchmark: str, **params: object) -> dict[str, object]:
+    """The common header every benchmark report starts from."""
+    payload: dict[str, object] = {"benchmark": benchmark}
+    payload.update(params)
+    payload["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    return payload
+
+
+def write_report(path: str, payload: Mapping[str, object]) -> None:
+    """Write a report as pretty-printed JSON with a trailing newline."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict[str, object]:
+    """Read a report previously written by :func:`write_report`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare_to_baseline(
+    current: Iterable[Row],
+    baseline: Iterable[Row],
+    *,
+    key: Callable[[Row], object],
+    metric: str,
+    max_regression: float,
+    higher_is_better: bool = True,
+    normalize_machine_speed: bool = True,
+) -> list[str]:
+    """Compare result rows against a baseline; return regression messages.
+
+    Rows are matched by ``key``; rows present on only one side are skipped
+    (smoke runs gate against a subset of the committed full-scale report).
+    A row regresses when its ``metric`` is worse than the baseline by more
+    than ``max_regression`` (fractional, e.g. 0.25 = 25%).
+
+    With ``normalize_machine_speed`` (the default), each row's
+    current/baseline ratio is first divided by the **median ratio across
+    all matched rows**: a committed baseline is measured on whatever
+    machine produced it, and CI runners are uniformly slower or faster
+    plus noisy — the median cancels that common factor, so the gate
+    trips on *relative* regressions (one code path getting slower than
+    its peers) rather than on hardware differences. The trade-off: a
+    perfectly uniform slowdown across every cell is absorbed into the
+    normalization — the absolute trajectory is tracked via the uploaded
+    report artifacts instead. Pass ``normalize_machine_speed=False`` for
+    strict same-machine comparisons.
+
+    Returns:
+        Human-readable messages, one per regressed row; empty when clean.
+    """
+    if not (0.0 <= max_regression < 1.0):
+        raise ValueError(f"max_regression must be in [0, 1), got {max_regression}")
+    base_by_key = {key(row): row for row in baseline}
+    matched: list[tuple[object, float, float, float]] = []
+    for row in current:
+        base = base_by_key.get(key(row))
+        if base is None:
+            continue
+        cur_v = row.get(metric)
+        base_v = base.get(metric)
+        if not isinstance(cur_v, (int, float)) or not isinstance(base_v, (int, float)):
+            continue
+        if base_v <= 0 or cur_v <= 0:
+            continue
+        ratio = cur_v / base_v if higher_is_better else base_v / cur_v
+        matched.append((key(row), float(cur_v), float(base_v), ratio))
+    if not matched:
+        return []
+    speed = 1.0
+    if normalize_machine_speed:
+        ratios = sorted(r for _, _, _, r in matched)
+        mid = len(ratios) // 2
+        speed = (
+            ratios[mid]
+            if len(ratios) % 2
+            else (ratios[mid - 1] + ratios[mid]) / 2.0
+        )
+        if speed <= 0:
+            speed = 1.0
+    failures: list[str] = []
+    floor = 1.0 - max_regression
+    for row_key, cur_v, base_v, ratio in matched:
+        relative = ratio / speed
+        if relative < floor:
+            failures.append(
+                f"{row_key}: {metric} {cur_v:g} vs baseline {base_v:g} "
+                f"({1.0 - relative:+.0%} below peers after ×{speed:.2f} "
+                f"machine-speed normalization; tolerance {max_regression:.0%})"
+            )
+    return failures
+
+
+def median_metric_ratio(
+    current: Iterable[Row],
+    baseline: Iterable[Row],
+    *,
+    key: Callable[[Row], object],
+    metric: str,
+) -> float | None:
+    """Median current/baseline ratio of ``metric`` over matched rows.
+
+    This is the machine-speed factor :func:`compare_to_baseline` normalizes
+    by. Gate callers should *report* it: the relative gate is blind to a
+    perfectly uniform slowdown by construction, so a conspicuously low
+    median on known-comparable hardware is the signal worth a human look.
+    """
+    base_by_key = {key(row): row for row in baseline}
+    ratios: list[float] = []
+    for row in current:
+        base = base_by_key.get(key(row))
+        if base is None:
+            continue
+        cur_v = row.get(metric)
+        base_v = base.get(metric)
+        if (
+            isinstance(cur_v, (int, float))
+            and isinstance(base_v, (int, float))
+            and base_v > 0
+            and cur_v > 0
+        ):
+            ratios.append(cur_v / base_v)
+    if not ratios:
+        return None
+    ratios.sort()
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid]
+    return (ratios[mid - 1] + ratios[mid]) / 2.0
+
+
+def format_rate(value: float) -> str:
+    """Compact human rendering for events/sec style rates."""
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.1f}"
+
+
+def summary_table(rows: Sequence[Row], columns: Sequence[str]) -> str:
+    """Fixed-width text table of selected report columns (for CI logs)."""
+    widths = [
+        max(len(c), *(len(str(r.get(c, ""))) for r in rows)) if rows else len(c)
+        for c in columns
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines = [header, "  ".join("-" * w for w in widths)]
+    for r in rows:
+        lines.append(
+            "  ".join(str(r.get(c, "")).ljust(w) for c, w in zip(columns, widths))
+        )
+    return "\n".join(lines)

@@ -21,11 +21,19 @@ structurally).
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
 from dataclasses import dataclass
+
+try:
+    from bench_common import report_envelope, write_report
+except ImportError:  # loaded by file path (tests) rather than from tools/
+    import sys as _sys
+    from pathlib import Path as _Path
+
+    _sys.path.insert(0, str(_Path(__file__).resolve().parent))
+    from bench_common import report_envelope, write_report
 
 from repro.mobility.contact import Contact, ContactTrace
 from repro.mobility.rwp import RWPConfig, SubscriberPointRWP
@@ -163,19 +171,16 @@ def main(argv: list[str] | None = None) -> int:
             f"divergence {div_txt}"
         )
 
-    report = {
-        "benchmark": "contact_extraction",
-        "scale": args.scale,
-        "seed": args.seed,
-        "horizon_s": scale.horizon,
-        "mobility": "rwp-subscriber",
-        "tolerance_s": args.tolerance,
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "results": rows,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    report = report_envelope(
+        "contact_extraction",
+        scale=args.scale,
+        seed=args.seed,
+        horizon_s=scale.horizon,
+        mobility="rwp-subscriber",
+        tolerance_s=args.tolerance,
+        results=rows,
+    )
+    write_report(args.out, report)
     print(f"report written to {args.out}")
 
     if failed:

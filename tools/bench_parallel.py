@@ -9,6 +9,7 @@ results (exits non-zero if not — this doubles as a determinism check in CI).
 Usage:
     PYTHONPATH=src python tools/bench_parallel.py --scale smoke --jobs 4
     PYTHONPATH=src python tools/bench_parallel.py --family enhanced_rwp --scale quick
+    PYTHONPATH=src python tools/bench_parallel.py --out BENCH_parallel.json
 """
 
 from __future__ import annotations
@@ -16,6 +17,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+try:
+    from bench_common import report_envelope, write_report
+except ImportError:  # loaded by file path (tests) rather than from tools/
+    import sys as _sys
+    from pathlib import Path as _Path
+
+    _sys.path.insert(0, str(_Path(__file__).resolve().parent))
+    from bench_common import report_envelope, write_report
 
 from repro.core.executors import ParallelExecutor, SerialExecutor
 from repro.core.sweep import run_sweep
@@ -30,6 +40,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
     parser.add_argument("--jobs", type=int, default=2, help="parallel worker count")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", default=None, help="optional JSON report path (e.g. BENCH_parallel.json)"
+    )
     args = parser.parse_args(argv)
 
     runner = ExperimentRunner(scale=args.scale, seed=args.seed)
@@ -55,6 +68,28 @@ def main(argv: list[str] | None = None) -> int:
     t_parallel = time.perf_counter() - t0
     speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
     print(f"parallel (jobs={args.jobs}): {t_parallel:8.2f}s   speedup ×{speedup:.2f}")
+
+    if args.out:
+        report = report_envelope(
+            "parallel_sweep",
+            family=args.family,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            results=[
+                {
+                    "cells": cells,
+                    "serial_s": round(t_serial, 4),
+                    "parallel_s": round(t_parallel, 4),
+                    "speedup": round(speedup, 2),
+                    "cells_per_s_parallel": round(cells / t_parallel, 2)
+                    if t_parallel > 0
+                    else None,
+                }
+            ],
+        )
+        write_report(args.out, report)
+        print(f"report written to {args.out}")
 
     if serial.runs != parallel.runs:
         print("ERROR: parallel results differ from serial run", file=sys.stderr)
