@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import re
 import sys
 import time
@@ -112,6 +113,8 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         overrides["drop_policy"] = args.drop_policy
     if args.buffer_capacity is not None:
         overrides["buffer_capacity"] = args.buffer_capacity
+    if args.record_occupancy:
+        overrides["record_occupancy"] = True
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     label = spec.name or Path(args.file).stem
@@ -139,6 +142,21 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         # free-form scenario names must not escape out_dir or break paths
         stem = re.sub(r"[^\w.-]+", "_", label) or "scenario"
         write_runs_csv(result, out_dir / f"{stem}_runs.csv")
+        if spec.record_occupancy:
+            payload = [
+                {
+                    "protocol": run.protocol,
+                    "protocol_label": run.protocol_label,
+                    "load": run.load,
+                    "seed": run.seed,
+                    "occupancy_series": [list(p) for p in run.occupancy_series or ()],
+                }
+                for run in result.runs
+            ]
+            occ_path = out_dir / f"{stem}_occupancy.json"
+            occ_path.write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
         for _, metric, series in tables:
             write_series_json(
                 series,
@@ -276,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N[,N...]",
         help="override relay capacity: one value, or a per-node comma list",
+    )
+    p_scenario.add_argument(
+        "--record-occupancy",
+        action="store_true",
+        help="record the per-change (time, fill) occupancy series in every "
+        "run result (exported as <name>_occupancy.json with --out)",
     )
     p_scenario.set_defaults(func=_cmd_run_scenario)
 

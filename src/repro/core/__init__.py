@@ -32,6 +32,11 @@ from repro.core.bundle import (
     StoredBundle,
     make_flow_bundles,
 )
+from repro.core.knowledge import (
+    CumulativeKnowledgeStore,
+    KnowledgeStore,
+    exchange_control,
+)
 from repro.core.metrics import MetricsCollector, TimeWeightedAccumulator
 from repro.core.node import EncounterHistory, Node
 from repro.core.policies import (
@@ -79,6 +84,9 @@ __all__ = [
     "TimeWeightedAccumulator",
     "ContactSession",
     "begin_contact",
+    "KnowledgeStore",
+    "CumulativeKnowledgeStore",
+    "exchange_control",
     "IncrementalPlanner",
     "ReferencePlanner",
     "planner_names",

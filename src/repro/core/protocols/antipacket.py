@@ -11,11 +11,18 @@ the paper observes identical delay for P-Q(P=Q=1) and immunity in the
 trace study. They differ in the signaling they charge for (P-Q's
 anti-packets vs immunity's per-bundle tables; both proportional to load) and
 in P-Q's transmission coin.
+
+The i-list itself lives in a :class:`~repro.core.knowledge.KnowledgeStore`:
+the store owns the mutable set, its frozen snapshot, the **knowledge
+epoch**, and the cached control payload reused verbatim while the epoch is
+unchanged. This protocol layer supplies policy only — what to purge when
+knowledge arrives, and what the dissemination costs.
 """
 
 from __future__ import annotations
 
 from repro.core.bundle import BundleId
+from repro.core.knowledge import KnowledgeStore
 from repro.core.protocols.base import ControlMessage, Protocol
 
 
@@ -24,6 +31,9 @@ class AntiPacketProtocol(Protocol):
 
     #: Counter kind used for signaling accounting; subclasses override.
     control_kind = "anti_packet"
+    #: receive_control consumes delivered_ids only — fully covered by the
+    #: knowledge epoch, so unchanged-epoch exchanges may be elided.
+    epoch_gated_control = True
     #: Buffer slots one stored table/anti-packet consumes. Tables share the
     #: node's storage in the paper's model (its immunity occupancy analysis);
     #: 0.1 ≈ a table an order of magnitude smaller than a bundle.
@@ -31,17 +41,11 @@ class AntiPacketProtocol(Protocol):
 
     def __init__(self, node, sim, rng) -> None:  # type: ignore[no-untyped-def]
         super().__init__(node, sim, rng)
-        self._known_delivered: set[BundleId] = set()
-        #: cached frozen snapshot of the i-list, rebuilt only after the
-        #: list grows — control payloads are built twice per contact and
-        #: must carry *pre-exchange* state, so they need a snapshot, but
-        #: copying the whole set at every encounter is the dominant cost
-        #: of the anti-packet family at scale
-        self._known_snapshot: frozenset[BundleId] | None = None
+        self.knowledge = KnowledgeStore()
 
     def _sync_table_storage(self) -> None:
         self.sim.set_control_storage(
-            self.node, len(self._known_delivered) * self.table_slot_fraction
+            self.node, len(self.knowledge) * self.table_slot_fraction
         )
 
     # ------------------------------------------------------------- knowledge
@@ -49,13 +53,10 @@ class AntiPacketProtocol(Protocol):
     @property
     def known_delivered(self) -> frozenset[BundleId]:
         """This node's current i-list (a frozen snapshot)."""
-        snap = self._known_snapshot
-        if snap is None:
-            snap = self._known_snapshot = frozenset(self._known_delivered)
-        return snap
+        return self.knowledge.snapshot
 
     def knows_delivered(self, bid: BundleId) -> bool:
-        return bid in self._known_delivered
+        return bid in self.knowledge
 
     def learn_delivered(self, bids: frozenset[BundleId] | set[BundleId], now: float) -> int:
         """Merge delivery knowledge and purge matching live copies.
@@ -63,29 +64,32 @@ class AntiPacketProtocol(Protocol):
         Returns:
             Number of newly learned bundle ids.
         """
-        known = self._known_delivered
-        if not bids or (len(bids) <= len(known) and bids <= known):
-            # C-level subset probe: the common steady-state case (peer
-            # knows nothing new) never walks the i-list in Python
+        fresh = self.knowledge.merge(bids)
+        if not fresh:
             return 0
-        fresh = [b for b in bids if b not in known]
-        self._known_delivered.update(fresh)
         for bid in fresh:
             if self.node.get_copy(bid) is not None:
                 self.sim.remove_copy(self.node, bid, reason="immunized")
-        if fresh:
-            self._known_snapshot = None
-            self._sync_table_storage()
+        self._sync_table_storage()
         return len(fresh)
 
     # ---------------------------------------------------------- control plane
 
     def control_payload(self, now: float) -> ControlMessage:
-        return ControlMessage(
-            sender=self.node.id,
-            summary=self._summary,
-            delivered_ids=self.known_delivered,
-        )
+        store = self.knowledge
+        msg = store.message
+        if msg is None:
+            msg = store.message = ControlMessage(
+                sender=self.node.id,
+                summary=self._summary,
+                delivered_ids=store.snapshot,
+            )
+        else:
+            # Re-arm the lazy summary: buffer contents move without
+            # bumping the knowledge epoch, so a cached message must not
+            # serve a summary frozen at an earlier contact.
+            msg._summary = self._summary
+        return msg
 
     def receive_control(self, msg: ControlMessage, now: float) -> None:
         self.learn_delivered(msg.delivered_ids, now)
@@ -103,6 +107,5 @@ class AntiPacketProtocol(Protocol):
     # ------------------------------------------------------------ destination
 
     def on_delivered(self, bundle, now: float) -> None:  # type: ignore[no-untyped-def]
-        self._known_delivered.add(bundle.bid)
-        self._known_snapshot = None
+        self.knowledge.add(bundle.bid)
         self._sync_table_storage()

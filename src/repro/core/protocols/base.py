@@ -134,6 +134,28 @@ class Protocol:
     #: both peers are stateless, which is every contact of the pure and
     #: coins-only P-Q protocols.
     exchanges_control = False
+    #: True when contact start is pure bookkeeping for this class: no
+    #: control exchange and no ``on_encounter_started`` override. The
+    #: simulation then never schedules zero-transfer contacts as events —
+    #: their bookkeeping is batched in one vectorized pass (see
+    #: ``Simulation.run``). Maintained automatically by
+    #: ``__init_subclass__``.
+    encounter_inert = True
+    #: True when ``receive_control`` consumes *only* state covered by the
+    #: protocol's :attr:`knowledge` store epoch, so an exchange between
+    #: two peers whose epochs are unchanged since their last meeting is
+    #: provably a no-op and can be elided (accounting still runs; see
+    #: :func:`repro.core.knowledge.exchange_control`). Classes built on a
+    #: knowledge store declare this explicitly; ``__init_subclass__``
+    #: withdraws it from any subclass that overrides a control hook
+    #: without re-declaring it — extra control state the epoch does not
+    #: cover must never be skipped.
+    epoch_gated_control = False
+    #: The protocol's delivery-knowledge store
+    #: (:class:`~repro.core.knowledge.KnowledgeStore` or
+    #: :class:`~repro.core.knowledge.CumulativeKnowledgeStore`), or None
+    #: for protocols without control-plane state.
+    knowledge = None
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -142,6 +164,23 @@ class Protocol:
             or cls.receive_control is not Protocol.receive_control
             or cls.control_units is not Protocol.control_units
         )
+        cls.encounter_inert = (
+            cls.on_encounter_started is Protocol.on_encounter_started
+            and not cls.exchanges_control
+        )
+        # learn_delivered is included because the substrate's
+        # receive_control delegates to it — overriding either one means
+        # the exchange may do more than the epoch covers
+        if "epoch_gated_control" not in cls.__dict__ and any(
+            hook in cls.__dict__
+            for hook in (
+                "control_payload",
+                "receive_control",
+                "control_units",
+                "learn_delivered",
+            )
+        ):
+            cls.epoch_gated_control = False
 
     def __init__(self, node: "Node", sim: SimulationServices, rng: "np.random.Generator") -> None:
         self.node = node

@@ -21,6 +21,12 @@ under pressure, producing the high occupancy and long delays of Figs 7–12.
   buffer for undelivered ones. A copy whose next transmission would assign a
   non-positive TTL is no longer offered — it is too duplicated to be worth
   propagating.
+
+Both EC variants are policy over the *buffer*, not the control plane: they
+keep no delivery knowledge, so they are *encounter-inert*
+(``Protocol.encounter_inert``) and the simulation batches their
+zero-transfer contacts at the trace layer instead of dispatching one event
+each (see ``Simulation.run``).
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.bundle import Bundle, BundleId
+from repro.core.knowledge import CumulativeKnowledgeStore
 from repro.core.protocols.antipacket import AntiPacketProtocol
 from repro.core.protocols.base import ControlMessage, Protocol
 
@@ -63,32 +64,38 @@ class CumulativeImmunityEpidemic(Protocol):
 
     name = "cumulative_immunity"
     control_kind = "immunity_table"
+    #: receive_control consumes the cumulative tables only — fully covered
+    #: by the knowledge epoch, so unchanged-epoch exchanges may be elided.
+    epoch_gated_control = True
     #: One table per flow, same per-table size as per-bundle immunity —
     #: the storage saving is keeping 1 table instead of one per bundle.
     table_slot_fraction = 0.1
 
     def __init__(self, node, sim, rng) -> None:  # type: ignore[no-untyped-def]
         super().__init__(node, sim, rng)
-        #: flow id -> highest seq such that bundles 1..seq are delivered
-        self.tables: dict[int, int] = {}
+        self.knowledge = CumulativeKnowledgeStore()
         #: destination-side: delivered seqs per flow, to advance the prefix
         self._delivered_seqs: dict[int, set[int]] = {}
 
     # ------------------------------------------------------------- knowledge
 
+    @property
+    def tables(self) -> dict[int, int]:
+        """Flow id -> highest seq such that bundles 1..seq are delivered."""
+        return self.knowledge.tables
+
     def knows_delivered(self, bid: BundleId) -> bool:
-        return bid.seq <= self.tables.get(bid.flow, 0)
+        return self.knowledge.covers(bid)
 
     def _absorb_table(self, flow: int, seq: int, now: float) -> bool:
         """Adopt a table if it dominates ours; purge covered copies.
 
         Returns True if the table was new information.
         """
-        if seq <= self.tables.get(flow, 0):
+        if not self.knowledge.advance(flow, seq):
             return False
-        self.tables[flow] = seq
         self.sim.set_control_storage(
-            self.node, len(self.tables) * self.table_slot_fraction
+            self.node, len(self.knowledge) * self.table_slot_fraction
         )
         covered = [
             sb.bid
@@ -102,11 +109,18 @@ class CumulativeImmunityEpidemic(Protocol):
     # ---------------------------------------------------------- control plane
 
     def control_payload(self, now: float) -> ControlMessage:
-        return ControlMessage(
-            sender=self.node.id,
-            summary=self._summary(),
-            cumulative=dict(self.tables),
-        )
+        store = self.knowledge
+        msg = store.message
+        if msg is None:
+            msg = store.message = ControlMessage(
+                sender=self.node.id,
+                summary=self._summary,
+                cumulative=dict(store.tables),
+            )
+        else:
+            # Re-arm the lazy summary (see AntiPacketProtocol.control_payload).
+            msg._summary = self._summary
+        return msg
 
     def receive_control(self, msg: ControlMessage, now: float) -> None:
         for flow, seq in msg.cumulative.items():
@@ -122,10 +136,10 @@ class CumulativeImmunityEpidemic(Protocol):
         flow = bundle.bid.flow
         seqs = self._delivered_seqs.setdefault(flow, set())
         seqs.add(bundle.bid.seq)
-        prefix = self.tables.get(flow, 0)
+        prefix = self.knowledge.seq_for(flow)
         while (prefix + 1) in seqs:
             prefix += 1
-        if prefix > self.tables.get(flow, 0):
+        if prefix > self.knowledge.seq_for(flow):
             self._absorb_table(flow, prefix, now)
 
 

@@ -14,6 +14,13 @@ to purge these bundles" once delivered (Section V-A, the >80% buffer
 occupancy discussion) — i.e. the evaluated P-Q is coins-only. We therefore
 default ``anti_packets=False`` to reproduce the figures, and keep the flag
 for the protocol as originally published (:class:`PQAntiPacketEpidemic`).
+
+The two variants sit on opposite sides of the knowledge layer:
+coins-only P-Q is *encounter-inert* (no control state, so the simulation
+batches its zero-transfer contacts at the trace layer), while the
+anti-packet variant inherits the epoch-versioned
+:class:`~repro.core.knowledge.KnowledgeStore` from the substrate and with
+it the cached control payload and unchanged-epoch exchange elision.
 """
 
 from __future__ import annotations

@@ -44,6 +44,10 @@ class RunResult:
     #: buffer-pressure evictions by drop-policy name (``reject`` never
     #: evicts; EC's intrinsic rule reports under ``max-ec``)
     drops: dict[str, int] = field(default_factory=dict)
+    #: opt-in ``(time, fill fraction)`` occupancy trace — piecewise
+    #: constant between entries; None unless the run recorded it
+    #: (``SimulationConfig.record_occupancy`` / ``--record-occupancy``)
+    occupancy_series: tuple[tuple[float, float], ...] | None = None
 
     @property
     def signaling_overhead(self) -> int:

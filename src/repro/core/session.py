@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.bundle import BundleId, StoredBundle
+from repro.core.knowledge import exchange_control
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.node import Node
@@ -41,51 +42,52 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mobility.contact import Contact
 
 
+def contact_bookkeeping(sim: "Simulation", node_a: "Node", node_b: "Node", now: float) -> None:
+    """The transfer-free layers of contact start: encounter → knowledge.
+
+    Encounter layer: history + the ``on_encounter_started`` hook.
+    Knowledge layer: the control-plane swap with its signaling accounting
+    (:func:`repro.core.knowledge.exchange_control`). Plus the summary
+    vector each way that every protocol pays regardless of control state.
+
+    This is everything a zero-transfer contact does; the simulation calls
+    it directly for pre-classified degenerate encounters. When the
+    protocol population is encounter-inert the encounter/knowledge layers
+    are deferred wholesale (``sim._defer_history``): the simulation
+    replays history in one batched pass at end of run and the knowledge
+    swap is statically known to be inert.
+    """
+    if not sim._defer_history:
+        node_a.history.note_encounter(now)
+        node_a.protocol.on_encounter_started(node_b, now)
+        node_b.history.note_encounter(now)
+        node_b.protocol.on_encounter_started(node_a, now)
+        exchange_control(sim, node_a, node_b, now)
+    # One summary vector each way, every protocol — accounted inline
+    # (this runs for every contact, exchange or not)
+    sim.metrics.signaling.summary_vector += 2
+    node_a.counters.control_units_sent += 1
+    node_b.counters.control_units_sent += 1
+
+
 def begin_contact(
     sim: "Simulation", contact: "Contact", session: "ContactSession | None" = None
 ) -> "ContactSession | None":
-    """Contact-start processing: history, control exchange, first slot.
+    """Contact-start orchestration: bookkeeping layers, then the first slot.
 
-    The encounter bookkeeping (history, control-plane swap, signaling
-    accounting) runs for *every* contact; a :class:`ContactSession` — the
-    slot state machine — is only built when the encounter can carry at
-    least one bundle. Sub-``tx_time`` contacts are the majority of
-    encounters in dense traces, and they end here.
+    The encounter/knowledge bookkeeping (:func:`contact_bookkeeping`) runs
+    for *every* contact; a :class:`ContactSession` — the slot state
+    machine — is only built when the encounter can carry at least one
+    bundle. Sub-``tx_time`` contacts are the majority of encounters in
+    dense traces, and they end here (when the simulation pre-classified
+    the trace they never reach this function at all).
 
     Returns:
         The session driving the exchange, or None for zero-budget contacts.
     """
     now = contact.start
     nodes = sim.nodes
-    node_a = nodes[contact.a]
-    node_b = nodes[contact.b]
-    proto_a, proto_b = node_a.protocol, node_b.protocol
-    node_a.history.note_encounter(now)
-    proto_a.on_encounter_started(node_b, now)
-    node_b.history.note_encounter(now)
-    proto_b.on_encounter_started(node_a, now)
-    # Control plane: both payloads' *consumed* fields (delivered_ids,
-    # cumulative tables, extras) are snapshots of pre-exchange state, then
-    # delivered — a symmetric, simultaneous swap. (The summary vector is
-    # lazy and unread in-simulation; see ControlMessage.) When neither
-    # protocol carries control state (pure epidemic, coins-only P-Q) the
-    # payloads would be inert, so only the signaling accounting runs.
-    if proto_a.exchanges_control or proto_b.exchanges_control:
-        msg_a = proto_a.control_payload(now)
-        msg_b = proto_b.control_payload(now)
-        units_a = proto_a.control_units(msg_a)
-        if units_a:
-            sim.count_control_units(node_a, proto_a.control_kind, units_a)
-        units_b = proto_b.control_units(msg_b)
-        if units_b:
-            sim.count_control_units(node_b, proto_b.control_kind, units_b)
-        proto_b.receive_control(msg_a, now)
-        proto_a.receive_control(msg_b, now)
-    # One summary vector each way, every protocol — accounted inline
-    # (this runs for every contact, exchange or not)
-    sim.metrics.signaling.summary_vector += 2
-    node_a.counters.control_units_sent += 1
-    node_b.counters.control_units_sent += 1
+    contact_bookkeeping(sim, nodes[contact.a], nodes[contact.b], now)
     if session is None:
         tx_time, budget = ContactSession.link_budget(sim, contact)
         if not budget:

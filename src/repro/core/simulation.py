@@ -15,18 +15,23 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.bundle import NO_EXPIRY, Bundle, BundleId, StoredBundle
 from repro.core.metrics import MetricsCollector
 from repro.core.node import Node
 from repro.core.planner import PLANNERS, planner_names
 from repro.core.policies import make_drop_policy
+from repro.core.protocols.antipacket import AntiPacketProtocol
+from repro.core.protocols.base import Protocol
 from repro.core.protocols.registry import ProtocolConfig
 from repro.core.results import RunResult
-from repro.core.session import begin_contact
+from repro.core.session import begin_contact, contact_bookkeeping
 from repro.core.workload import Flow, total_offered
 from repro.des.engine import Engine
+from repro.des.event import PRIORITY_EARLY
 from repro.des.rng import RngHub
-from repro.mobility.contact import ContactTrace
+from repro.mobility.contact import ContactTrace, zero_transfer_mask
 
 
 @dataclass(frozen=True)
@@ -49,11 +54,17 @@ class SimulationConfig:
             the historical drop-tail-refusal behaviour exactly. Protocols
             with an intrinsic eviction rule (EC, EC+TTL) keep their own
             rule regardless of this knob.
+        record_occupancy: Record the per-change ``(time, fill)`` occupancy
+            series on the metrics collector (and in the
+            :class:`~repro.core.results.RunResult`). Off by default —
+            sweeps normally consume only the distilled scalars and should
+            not pay an append per buffer delta.
     """
 
     buffer_capacity: int | tuple[int, ...] = 10
     bundle_tx_time: float | tuple[float, ...] = 100.0
     drop_policy: str = "reject"
+    record_occupancy: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.buffer_capacity, (list, tuple)):
@@ -136,6 +147,7 @@ class Simulation:
         seed: int = 0,
         planner: str = "incremental",
         record_occupancy: bool = False,
+        batch_degenerate: bool = True,
     ) -> None:
         if not flows:
             raise ValueError("at least one flow is required")
@@ -170,8 +182,25 @@ class Simulation:
         self.metrics = MetricsCollector(
             trace.num_nodes,
             self.config.capacities(trace.num_nodes),
-            record_occupancy=record_occupancy,
+            record_occupancy=record_occupancy or self.config.record_occupancy,
         )
+        #: per-pair ``(epoch_a, epoch_b)`` memo of the knowledge layer —
+        #: the epochs at the end of each pair's last control swap (see
+        #: :func:`repro.core.knowledge.exchange_control`)
+        self.pair_knowledge: dict[tuple[int, int], tuple[int, int]] = {}
+        #: trace-layer degenerate-encounter batching (see :meth:`run`);
+        #: the knob exists so equivalence tests can force the per-event
+        #: reference path
+        self._batch_degenerate = batch_degenerate
+        #: True while encounter bookkeeping is deferred to the end-of-run
+        #: batched flush (encounter-inert protocol populations only)
+        self._defer_history = False
+        #: degenerate encounters processed without their own event (chunked
+        #: or flushed); ``engine.events_fired + batched_encounters`` equals
+        #: the event count of the unbatched reference schedule exactly
+        self.batched_encounters = 0
+        self._chunk_horizon = math.inf
+        self._chunk_control_kind = ""
         hub = RngHub(seed)
         self.nodes: list[Node] = []
         for i in range(trace.num_nodes):
@@ -310,6 +339,172 @@ class Simulation:
     def _begin_contact(self, contact) -> None:
         begin_contact(self, contact)
 
+    def _degenerate_contact(self, contact) -> None:
+        # Pre-classified zero-transfer encounter: bookkeeping layers only,
+        # no link-budget recomputation and no session machinery.
+        nodes = self.nodes
+        contact_bookkeeping(self, nodes[contact.a], nodes[contact.b], contact.start)
+
+    def _antipacket_native(self) -> bool:
+        """True when every node runs the unmodified anti-packet substrate.
+
+        The degenerate-chunk fast path inlines the substrate's control
+        hooks, so it is only safe when none of them is overridden —
+        checked by method identity, which any subclass customisation
+        (different payloads, unit costs, or merge semantics) breaks.
+        """
+        if not self.nodes:
+            return False
+        proto_cls = type(self.nodes[0].protocol)
+        return (
+            issubclass(proto_cls, AntiPacketProtocol)
+            and proto_cls.control_payload is AntiPacketProtocol.control_payload
+            and proto_cls.receive_control is AntiPacketProtocol.receive_control
+            and proto_cls.control_units is AntiPacketProtocol.control_units
+            and proto_cls.learn_delivered is AntiPacketProtocol.learn_delivered
+            and proto_cls.on_encounter_started is Protocol.on_encounter_started
+            and all(type(node.protocol) is proto_cls for node in self.nodes)
+        )
+
+    def _degenerate_chunk(self, lo: int, hi: int) -> None:
+        """Process a run of consecutive degenerate contacts in one event.
+
+        Selected by :meth:`run` only for homogeneous populations of the
+        *native* anti-packet substrate (method-identity-checked), whose
+        zero-transfer contact processing is exactly: history, i-list
+        accounting, and an epoch-gated i-list swap. The chunk walks the
+        contacts ``lo..hi`` in trace order, advancing the engine clock to
+        each contact's start so purge-time metric integrals stay exact,
+        and stops at the first contact that would fire *after* the next
+        pending event (or the horizon) — it then re-parks itself at that
+        contact's start with ``PRIORITY_EARLY``, preserving the original
+        contact-before-completion ordering at equal timestamps. Everything
+        in between needs no event round-trip: by construction no other
+        event fires inside the processed span, so the per-contact
+        bookkeeping sequence (and therefore every metric) is bit-identical
+        to one event per contact.
+        """
+        contacts = self.trace.contacts
+        engine = self.engine
+        nodes = self.nodes
+        memo = self.pair_knowledge
+        signaling = self.metrics.signaling
+        kind = self._chunk_control_kind
+        # The bound is loop-invariant: chunk processing never schedules new
+        # events, and the native substrate arms no expiries so its purges
+        # never cancel one — the pending-event horizon cannot move.
+        bound = engine.next_event_time()
+        if bound > self._chunk_horizon:
+            bound = self._chunk_horizon
+        kind_units = 0
+        processed = 0
+        i = lo
+        while i <= hi:
+            contact = contacts[i]
+            start = contact.start
+            if start > bound:
+                engine.at(
+                    start, self._degenerate_chunk, i, hi, priority=PRIORITY_EARLY
+                )
+                break
+            engine.advance_clock(start)
+            node_a = nodes[contact.a]
+            node_b = nodes[contact.b]
+            # encounter layer, note_encounter inlined (EncounterHistory
+            # semantics: bursts within the rendezvous gap keep measuring
+            # from the burst start)
+            history = node_a.history
+            history.encounter_count += 1
+            last = history.last_encounter_time
+            if last is None:
+                history.last_encounter_time = start
+            else:
+                gap = start - last
+                if gap > history.min_rendezvous_gap:
+                    history.last_interval = gap
+                    history.last_encounter_time = start
+            history = node_b.history
+            history.encounter_count += 1
+            last = history.last_encounter_time
+            if last is None:
+                history.last_encounter_time = start
+            else:
+                gap = start - last
+                if gap > history.min_rendezvous_gap:
+                    history.last_interval = gap
+                    history.last_encounter_time = start
+            store_a = node_a.protocol.knowledge
+            store_b = node_b.protocol.knowledge
+            known_a = store_a._known
+            known_b = store_b._known
+            # pre-exchange unit charges (the full i-list travels each way)
+            units_a = len(known_a)
+            if units_a:
+                kind_units += units_a
+                node_a.counters.control_units_sent += units_a
+            units_b = len(known_b)
+            if units_b:
+                kind_units += units_b
+                node_b.counters.control_units_sent += units_b
+            # epoch-gated swap; passing the live sets is equivalent to the
+            # pre-exchange snapshots: the first merge only adds ids the
+            # second direction's receiver already holds. The subset probe
+            # (merge's no-op fast path) is inlined so the steady state —
+            # both sides already converged — costs no Python call.
+            epochs = (store_a.epoch, store_b.epoch)
+            pair = (contact.a, contact.b)
+            if memo.get(pair) != epochs:
+                if units_a and not (units_a <= units_b and known_a <= known_b):
+                    node_b.protocol.learn_delivered(known_a, start)
+                if units_b and not (len(known_a) >= units_b and known_b <= known_a):
+                    node_a.protocol.learn_delivered(known_b, start)
+                memo[pair] = (store_a.epoch, store_b.epoch)
+            node_a.counters.control_units_sent += 1
+            node_b.counters.control_units_sent += 1
+            processed += 1
+            i += 1
+        if kind_units:
+            signaling.add(kind, kind_units)
+        signaling.summary_vector += 2 * processed
+        # every invocation is itself one fired event standing in for one
+        # contact; the rest were spared an event round-trip
+        if processed > 1:
+            self.batched_encounters += processed - 1
+
+    def _flush_deferred_bookkeeping(self, zero_mask, end_time: float) -> None:
+        """Batched bookkeeping for an encounter-inert protocol population.
+
+        Replays, in one pass, everything the per-event path would have
+        done for contacts that started by ``end_time``: encounter history
+        for *every* fired contact (identical mutation sequence — the trace
+        is processed in the same ``(start, end, a, b)`` order the event
+        queue fires it, and ``note_encounter`` depends only on the passed
+        times), and the per-contact signaling accounting for the
+        degenerate contacts that were never scheduled. Contacts past
+        ``end_time`` are excluded exactly as the event loop would have
+        left them unfired: an early-delivery halt happens in a
+        transfer-completion event, which by bulk-load seq ordering fires
+        *after* every contact event of the same timestamp.
+        """
+        starts, _ends, a_ids, b_ids = self.trace.contact_arrays()
+        fired = int(np.searchsorted(starts, end_time, side="right"))
+        nodes = self.nodes
+        for c in self.trace.contacts[:fired]:
+            now = c.start
+            nodes[c.a].history.note_encounter(now)
+            nodes[c.b].history.note_encounter(now)
+        zmask = zero_mask[:fired]
+        batched = int(zmask.sum())
+        if batched:
+            self.batched_encounters += batched
+            self.metrics.signaling.summary_vector += 2 * batched
+            counts = np.bincount(a_ids[:fired][zmask], minlength=len(nodes))
+            counts += np.bincount(b_ids[:fired][zmask], minlength=len(nodes))
+            for node, encounters in zip(nodes, counts.tolist()):
+                if encounters:
+                    node.counters.control_units_sent += encounters
+        self._defer_history = False
+
     def _inject_flow(self, flow: Flow) -> None:
         now = self.engine.now
         source = self.nodes[flow.source]
@@ -359,13 +554,71 @@ class Simulation:
         # the whole contact schedule bulk-loads in O(n) — no per-contact
         # heap push before t=0. Sessions are constructed when their contact
         # actually begins: a run that delivers early never pays for the
-        # contacts behind the stop point.
-        self.engine.schedule_sorted(
-            (contact.start, self._begin_contact, (contact,))
-            for contact in self.trace
-        )
+        # contacts behind the stop point. Degenerate encounters — contacts
+        # whose duration admits zero transfers, the majority in dense
+        # traces — are pre-classified in one vectorized pass at the trace
+        # layer: control-bearing protocols get a slimmer bookkeeping-only
+        # event (no link-budget recomputation, no session gate), and an
+        # encounter-inert population skips their events entirely in favour
+        # of one batched flush after the run.
+        contacts = self.trace.contacts
+        zero_mask = None
+        if self._batch_degenerate and contacts:
+            zero_mask = zero_transfer_mask(self.trace, self.config.bundle_tx_time)
+            if not zero_mask.any():
+                zero_mask = None
+        if zero_mask is None:
+            self.engine.schedule_sorted(
+                (contact.start, self._begin_contact, (contact,))
+                for contact in contacts
+            )
+        elif all(node.protocol.encounter_inert for node in self.nodes):
+            self._defer_history = True
+            zero_list = zero_mask.tolist()
+            self.engine.schedule_sorted(
+                (contact.start, self._begin_contact, (contact,))
+                for contact, degenerate in zip(contacts, zero_list)
+                if not degenerate
+            )
+        elif self._antipacket_native():
+            # Native anti-packet substrate: maximal runs of consecutive
+            # degenerate contacts become one chunk event each, processed
+            # in-order between the surrounding events (the chunk re-parks
+            # itself whenever another event intervenes). Scheduling the
+            # chunk at the run's head position keeps the bulk-load seq
+            # ordering — and with it every equal-timestamp tie-break —
+            # identical to the one-event-per-contact schedule.
+            self._chunk_horizon = horizon
+            self._chunk_control_kind = self.nodes[0].protocol.control_kind
+            zero_list = zero_mask.tolist()
+            begin = self._begin_contact
+            chunk = self._degenerate_chunk
+            items: list[tuple[float, object, tuple]] = []
+            i = 0
+            total = len(contacts)
+            while i < total:
+                if zero_list[i]:
+                    j = i
+                    while j + 1 < total and zero_list[j + 1]:
+                        j += 1
+                    items.append((contacts[i].start, chunk, (i, j)))
+                    i = j + 1
+                else:
+                    items.append((contacts[i].start, begin, (contacts[i],)))
+                    i += 1
+            self.engine.schedule_sorted(items)
+        else:
+            begin = self._begin_contact
+            degen = self._degenerate_contact
+            zero_list = zero_mask.tolist()
+            self.engine.schedule_sorted(
+                (contact.start, degen if degenerate else begin, (contact,))
+                for contact, degenerate in zip(contacts, zero_list)
+            )
         self.engine.run(until=horizon)
         end_time = self.engine.now
+        if self._defer_history:
+            self._flush_deferred_bookkeeping(zero_mask, end_time)
         success = self._all_delivered()
         delay = self.metrics.completion_time(self._offered) if success else None
         flow0 = self.flows[0]
@@ -399,4 +652,9 @@ class Simulation:
             },
             drops=dict(self.metrics.drops),
             end_time=end_time,
+            occupancy_series=(
+                tuple(self.metrics.occupancy_series)
+                if self.metrics.record_occupancy
+                else None
+            ),
         )

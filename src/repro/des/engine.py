@@ -62,6 +62,29 @@ class Engine:
         """Number of live scheduled events."""
         return len(self._queue)
 
+    def next_event_time(self) -> float:
+        """Earliest pending live event time, or +inf when idle."""
+        t = self._queue.peek_time()
+        return math.inf if t is None else t
+
+    def advance_clock(self, time: float) -> None:
+        """Advance the clock without firing an event.
+
+        For clients that process batched work *between* events (the
+        simulation's degenerate-encounter chunks): time-weighted metric
+        integrals must see the clock at each virtual occurrence time.
+        Callers must not advance past :meth:`next_event_time` — the next
+        fired event would otherwise appear to go back in time.
+
+        Raises:
+            ValueError: if ``time`` precedes the current clock.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot advance clock to t={time} before current time t={self._now}"
+            )
+        self._now = time
+
     # -------------------------------------------------------------- scheduling
 
     def at(

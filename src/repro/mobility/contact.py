@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -101,6 +104,9 @@ class ContactTrace:
     _by_pair: dict[tuple[int, int], list[Contact]] | None = field(
         init=False, repr=False, compare=False, default=None
     )
+    _arrays: "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None" = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -176,6 +182,32 @@ class ContactTrace:
         """All contacts between the (unordered) pair ``{a, b}``, in time
         order. O(k) per call after a one-off lazy index build."""
         return list(self._pair_index().get(pair_key(a, b), ()))
+
+    def contact_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """The trace as columnar NumPy arrays ``(starts, ends, a, b)``.
+
+        Built lazily on first call and cached (the contact list is
+        immutable once the trace is constructed). Time columns are
+        float64 — bit-identical to the per-contact Python floats — and
+        node columns are intp, so bulk consumers (the simulation's
+        degenerate-encounter pre-classification, trace statistics) can
+        vectorize without touching :class:`Contact` objects.
+        """
+        if self._arrays is None:
+            import numpy as np
+
+            n = len(self.contacts)
+            starts = np.empty(n, dtype=np.float64)
+            ends = np.empty(n, dtype=np.float64)
+            a = np.empty(n, dtype=np.intp)
+            b = np.empty(n, dtype=np.intp)
+            for i, c in enumerate(self.contacts):
+                starts[i] = c.start
+                ends[i] = c.end
+                a[i] = c.a
+                b[i] = c.b
+            self._arrays = (starts, ends, a, b)
+        return self._arrays
 
     def first_contact_at_or_after(self, t: float) -> Contact | None:
         """Earliest contact with ``start >= t``, or None."""
@@ -266,6 +298,32 @@ class ContactTrace:
                     raise ValueError(
                         f"pair {pair} has overlapping contacts {prev} and {nxt}"
                     )
+
+
+def zero_transfer_mask(
+    trace: ContactTrace, bundle_tx_time: "float | Sequence[float]"
+) -> "np.ndarray":
+    """Boolean mask of contacts whose duration admits zero transfers.
+
+    A contact carries ``floor(duration / tx_time)`` bundles, with the
+    per-pair transfer time being the slower of the two radios when
+    ``bundle_tx_time`` is per-node. This classifies the whole trace in one
+    vectorized pass — the simulation uses it during bulk schedule load to
+    route *degenerate* encounters (zero transfer budget) around the
+    per-event machinery. The comparison reproduces the scalar
+    ``int(duration / tx_time) == 0`` bit-for-bit: both are IEEE-754
+    float64 divisions and truncation toward zero of a non-negative
+    quotient is zero exactly when the quotient is below 1.
+    """
+    import numpy as np
+
+    starts, ends, a, b = trace.contact_arrays()
+    if isinstance(bundle_tx_time, (int, float)):
+        tx: "float | np.ndarray" = float(bundle_tx_time)
+    else:
+        per_node = np.asarray(bundle_tx_time, dtype=np.float64)
+        tx = np.maximum(per_node[a], per_node[b])
+    return (ends - starts) / tx < 1.0
 
 
 def pair_key(a: int, b: int) -> tuple[int, int]:

@@ -332,6 +332,11 @@ class ScenarioSpec:
             (``reject``, ``drop-tail``, ``drop-oldest``, ``drop-youngest``,
             ``drop-random`` — see :mod:`repro.core.policies`). The default
             ``reject`` reproduces the classic refuse-incoming behaviour.
+        record_occupancy: Record the per-change ``(time, fill)`` occupancy
+            series in every run's :class:`~repro.core.results.RunResult`
+            (see :attr:`~repro.core.simulation.SimulationConfig.record_occupancy`).
+            Off by default — an append per buffer delta is pure overhead
+            for sweeps that only consume the distilled scalars.
     """
 
     mobility: MobilitySpec
@@ -343,6 +348,7 @@ class ScenarioSpec:
     buffer_capacity: int | tuple[int, ...] = 10
     bundle_tx_time: float | tuple[float, ...] = 100.0
     drop_policy: str = "reject"
+    record_occupancy: bool = False
 
     def __post_init__(self) -> None:
         protocols = tuple(self.protocols)
@@ -355,6 +361,7 @@ class ScenarioSpec:
             buffer_capacity=self.buffer_capacity,
             bundle_tx_time=self.bundle_tx_time,
             drop_policy=self.drop_policy,
+            record_occupancy=self.record_occupancy,
         )
         object.__setattr__(self, "buffer_capacity", sim.buffer_capacity)
         object.__setattr__(self, "bundle_tx_time", sim.bundle_tx_time)
@@ -393,6 +400,7 @@ class ScenarioSpec:
                 buffer_capacity=self.buffer_capacity,
                 bundle_tx_time=self.bundle_tx_time,
                 drop_policy=self.drop_policy,
+                record_occupancy=self.record_occupancy,
             ),
         )
 
@@ -445,6 +453,7 @@ class ScenarioSpec:
             "buffer_capacity": plain(self.buffer_capacity),
             "bundle_tx_time": plain(self.bundle_tx_time),
             "drop_policy": self.drop_policy,
+            "record_occupancy": self.record_occupancy,
         }
 
     @classmethod
@@ -462,6 +471,7 @@ class ScenarioSpec:
                 "buffer_capacity",
                 "bundle_tx_time",
                 "drop_policy",
+                "record_occupancy",
             ],
         )
         if "mobility" not in data:
@@ -484,6 +494,7 @@ class ScenarioSpec:
             "buffer_capacity",
             "bundle_tx_time",
             "drop_policy",
+            "record_occupancy",
         ):
             if key in data:
                 value = data[key]

@@ -49,8 +49,9 @@ _bench_sim = _load_bench_sim()
 #: (protocol name, load, replication) → exact seed-scenario metrics.
 GOLDEN = _bench_sim.GOLDEN
 
-#: pure / ttl / pq-anti-packet constructor kwargs, shared with the bench.
-PROTOCOL_KWARGS = _bench_sim.PROTOCOLS
+#: Constructor kwargs for every pinned protocol (the bench trio plus the
+#: ec / immunity equivalence pins), shared with the bench.
+PROTOCOL_KWARGS = _bench_sim.GOLDEN_PROTOCOLS
 
 
 @pytest.mark.parametrize("key", sorted(GOLDEN), ids=lambda k: f"{k[0]}-l{k[1]}-r{k[2]}")
@@ -78,5 +79,6 @@ def test_seed_scenario_metrics_pinned(campus_trace, key):
     assert result.buffer_occupancy * result.end_time == pytest.approx(
         expected["buffer_occupancy"] * expected["end_time"], rel=1e-12
     )
-    # the seed scenario evicts nothing: reject is the default policy
-    assert result.drops == {}
+    # drop accounting: empty under the default reject policy, pinned
+    # exactly for protocols with an intrinsic eviction rule (EC)
+    assert result.drops == expected["drops"]

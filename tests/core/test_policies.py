@@ -198,6 +198,7 @@ class TestEndToEnd:
             flows,
             config=SimulationConfig(buffer_capacity=2),
             seed=0,
+            record_occupancy=True,  # match _contention_run's recording
         ).run()
         assert explicit == default
         assert explicit.drops == {}

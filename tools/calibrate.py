@@ -1,19 +1,34 @@
 #!/usr/bin/env python3
 """Calibration harness for the mobility substrates.
 
-Sweeps candidate generator configurations and prints, per config, the trace
-statistics and the protocol-separation indicators the paper's figures rely
-on (see DESIGN.md §5 "expected shape results"). Used during development to
-pick the defaults in ``repro.mobility.synthetic`` / ``repro.mobility.rwp``;
-kept in-tree so the calibration is reproducible.
+Sweeps candidate generator configurations and reports, per config, the
+trace statistics and the protocol-separation indicators the paper's figures
+rely on (see DESIGN.md §5 "expected shape results"). Used during
+development to pick the defaults in ``repro.mobility.synthetic`` /
+``repro.mobility.rwp``; kept in-tree so the calibration is reproducible.
 
-Usage: python tools/calibrate.py [campus|rwp]
+Emits the shared ``tools/bench_common.py`` report envelope — one result row
+per (config, protocol, load) — like every other bench tool, so calibration
+sweeps can be diffed, archived, and post-processed with the same plumbing.
+
+Usage:
+    PYTHONPATH=src python tools/calibrate.py campus
+    PYTHONPATH=src python tools/calibrate.py rwp --out CALIBRATION_rwp.json
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
+
+try:
+    from bench_common import report_envelope, summary_table, write_report
+except ImportError:  # loaded by file path (tests) rather than from tools/
+    import sys as _sys
+    from pathlib import Path as _Path
+
+    _sys.path.insert(0, str(_Path(__file__).resolve().parent))
+    from bench_common import report_envelope, summary_table, write_report
 
 from repro import (
     CampusTraceConfig,
@@ -36,8 +51,22 @@ PROTOS = [
     make_protocol_config("cumulative_immunity"),
 ]
 
+#: Columns of the per-row console table (a subset of each result row).
+TABLE_COLUMNS = (
+    "config",
+    "protocol",
+    "load",
+    "delivery_ratio",
+    "delay_s",
+    "buffer_occupancy",
+    "duplication_rate",
+)
 
-def evaluate(tag: str, trace) -> None:  # type: ignore[no-untyped-def]
+
+def evaluate(
+    tag: str, params: dict[str, object], trace  # type: ignore[no-untyped-def]
+) -> dict[str, object]:
+    """Sweep one candidate config; return its report section."""
     st = compute_trace_stats(trace)
     print(
         f"--- {tag}: contacts={st.num_contacts} node-gap-med={st.intercontact_node.median:.0f}"
@@ -47,29 +76,58 @@ def evaluate(tag: str, trace) -> None:  # type: ignore[no-untyped-def]
     res = run_sweep(
         trace, PROTOS, SweepConfig(loads=(5, 30, 50), replications=6, master_seed=7)
     )
-    delay = {s.label: s for s in res.delay_series()}
-    buf = {s.label: s for s in res.buffer_occupancy_series()}
-    dup = {s.label: s for s in res.duplication_series()}
-    for s in res.delivery_ratio_series():
-        print(
-            "  %-36s dr=%s delay=%s buf=%s dup=%s"
-            % (
-                s.label,
-                ["%.2f" % v for v in s.values],
-                ["%7.0f" % v for v in delay[s.label].values],
-                ["%.2f" % v for v in buf[s.label].values],
-                ["%.2f" % v for v in dup[s.label].values],
-            )
-        )
-    print("  (%.1fs)" % (time.time() - t0))
+    elapsed = time.time() - t0
+    series = {
+        "delivery_ratio": res.delivery_ratio_series(),
+        "delay_s": res.delay_series(),
+        "buffer_occupancy": res.buffer_occupancy_series(),
+        "duplication_rate": res.duplication_series(),
+    }
+    rows: list[dict[str, object]] = []
+    labels = [s.label for s in series["delivery_ratio"]]
+    for label in labels:
+        per_metric = {
+            metric: next(s for s in curves if s.label == label)
+            for metric, curves in series.items()
+        }
+        for i, load in enumerate(per_metric["delivery_ratio"].loads):
+            values = {
+                # delay is NaN when no replication succeeded — strict-JSON
+                # null, not a bare NaN token
+                metric: round(v, 4) if v == v else None
+                for metric, curve in per_metric.items()
+                for v in (curve.values[i],)
+            }
+            rows.append({"config": tag, "protocol": label, "load": load, **values})
+    print(summary_table(rows, TABLE_COLUMNS))
+    print(f"  ({elapsed:.1f}s)")
+    return {
+        "config": tag,
+        "params": params,
+        "trace_stats": {
+            "num_contacts": st.num_contacts,
+            "intercontact_node_median": st.intercontact_node.median,
+            "intercontact_pair_median": st.intercontact_pair.median,
+            "duration_median": st.durations.median,
+        },
+        "sweep_wall_s": round(elapsed, 2),
+        "rows": rows,
+    }
 
 
-def campus() -> None:
+def campus() -> list[dict[str, object]]:
+    sections = []
     for mean_ic, sigma, het, dmed in [
         (24_000, 1.0, 0.2, 100.0),
         (24_000, 1.0, 0.2, 90.0),
         (18_000, 1.0, 0.2, 80.0),
     ]:
+        params = dict(
+            mean_intercontact=mean_ic,
+            intercontact_sigma=sigma,
+            heterogeneity_sigma=het,
+            duration_median=dmed,
+        )
         cfg = CampusTraceConfig(
             mean_intercontact=mean_ic,
             intercontact_sigma=sigma,
@@ -80,22 +138,53 @@ def campus() -> None:
             min_duration=20.0,
         )
         trace = CampusTraceGenerator(cfg, seed=7).generate()
-        evaluate(f"campus ic={mean_ic} s={sigma} het={het} dmed={dmed}", trace)
+        tag = f"campus ic={mean_ic} s={sigma} het={het} dmed={dmed}"
+        sections.append(evaluate(tag, params, trace))
+    return sections
 
 
-def rwp() -> None:
+def rwp() -> list[dict[str, object]]:
+    sections = []
     for comm, pts, travel in [
         (40.0, 80, 900.0),
         (30.0, 80, 900.0),
         (40.0, 60, 1_200.0),
     ]:
+        params = dict(comm_range=comm, num_subscriber_points=pts, max_travel_time=travel)
         cfg = RWPConfig(
             comm_range=comm, num_subscriber_points=pts, max_travel_time=travel
         )
         trace = SubscriberPointRWP(cfg, seed=7).generate()
-        evaluate(f"rwp range={comm} pts={pts} travel={travel}", trace)
+        tag = f"rwp range={comm} pts={pts} travel={travel}"
+        sections.append(evaluate(tag, params, trace))
+    return sections
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("which", nargs="?", choices=("campus", "rwp"), default="campus")
+    parser.add_argument(
+        "--out",
+        default="CALIBRATION.json",
+        help="JSON report path (bench_common envelope; default CALIBRATION.json)",
+    )
+    args = parser.parse_args(argv)
+    sections = {"campus": campus, "rwp": rwp}[args.which]()
+    report = report_envelope(
+        "mobility_calibration",
+        substrate=args.which,
+        seed=7,
+        loads=[5, 30, 50],
+        replications=6,
+        results=[row for section in sections for row in section["rows"]],
+        configs=[
+            {k: v for k, v in section.items() if k != "rows"} for section in sections
+        ],
+    )
+    write_report(args.out, report)
+    print(f"report written to {args.out}")
+    return 0
 
 
 if __name__ == "__main__":
-    which = sys.argv[1] if len(sys.argv) > 1 else "campus"
-    {"campus": campus, "rwp": rwp}[which]()
+    raise SystemExit(main())
