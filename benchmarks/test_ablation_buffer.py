@@ -45,7 +45,7 @@ def test_ablation_buffer(benchmark):
                 f"{cap:>9} {label:<28} {m['delivery_ratio']:>9.2f} "
                 f"{m['buffer_occupancy']:>10.2f}"
             )
-    for cap, sweep in results.items():
+    for sweep in results.values():
         imm = sweep.protocol_means("Epidemic with immunity")
         pq = sweep.protocol_means("P-Q epidemic (P=1, Q=1)")
         # the paper's qualitative conclusion holds at every capacity

@@ -22,7 +22,7 @@ def test_fig07_delay_trace(benchmark):
     # TTL's successful runs are never faster on average than P-Q's
     paired = [
         (t, p)
-        for t, p in zip(ttl.values, pq.values)
+        for t, p in zip(ttl.values, pq.values, strict=True)
         if math.isfinite(t) and math.isfinite(p)
     ]
     if paired:

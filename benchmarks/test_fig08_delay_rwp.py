@@ -16,7 +16,7 @@ def test_fig08_delay_rwp(benchmark):
     pq = fig.series_by_label("P-Q epidemic (P=1, Q=1)")
     paired = [
         (i, p)
-        for i, p in zip(imm.values, pq.values)
+        for i, p in zip(imm.values, pq.values, strict=True)
         if math.isfinite(i) and math.isfinite(p)
     ]
     assert paired

@@ -20,5 +20,5 @@ def test_fig16_delivery_trace(benchmark):
     # the EC+TTL high-load gain (paper: >= 40% relative at high loads)
     assert ecttl.values[-1] >= 1.2 * ec.values[-1]
     # cumulative immunity is a buffer policy: delivery matches immunity
-    for c, i in zip(cum.values, imm.values):
+    for c, i in zip(cum.values, imm.values, strict=True):
         assert abs(c - i) <= 0.05

@@ -1,10 +1,27 @@
-"""Setuptools shim.
+"""Setuptools packaging for the repro library.
 
-Allows ``pip install -e . --no-use-pep517`` in offline environments that
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so
+``pip install -e . --no-use-pep517`` works in offline environments that
 lack the ``wheel`` package (the PEP 660 editable path needs bdist_wheel).
-All real metadata lives in ``pyproject.toml``.
+
+``package_data`` ships the ``py.typed`` marker (PEP 561) so downstream
+type checkers consume the library's inline annotations — the mypy-strict
+ratchet in ``mypy.ini`` keeps the core modules' annotations honest.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-epidemic-routing",
+    version="0.6.0",
+    description=(
+        "Reproduction of 'A Unified Study of Epidemic Routing Protocols "
+        "and their Enhancements' (IPDPSW 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -76,7 +76,7 @@ def render_plot(
             (float(p.load), p.value) for p in s.points if math.isfinite(p.value)
         ]
         # connect consecutive points with interpolated glyphs
-        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:], strict=False):
             steps = max(2, int(abs(x1 - x0) / (x_hi - x_lo) * width))
             for k in range(steps + 1):
                 t = k / steps

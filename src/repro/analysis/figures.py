@@ -9,7 +9,7 @@ ASCII plotter, CSV writer and benchmark harness all consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.results import RunResult, Series, SweepResult
 

@@ -125,7 +125,7 @@ class TradeoffRow:
         }
 
 
-def build_tradeoff_table(study: "TradeoffStudy") -> list[TradeoffRow]:
+def build_tradeoff_table(study: TradeoffStudy) -> list[TradeoffRow]:
     """Flatten a tradeoff study into (capacity, policy, protocol) rows.
 
     Row order is the study's grid order: capacity, then policy, then
@@ -152,7 +152,7 @@ def build_tradeoff_table(study: "TradeoffStudy") -> list[TradeoffRow]:
     return rows
 
 
-def render_tradeoff_table(study: "TradeoffStudy") -> str:
+def render_tradeoff_table(study: TradeoffStudy) -> str:
     """The tradeoff study as aligned text, one block per protocol.
 
     Each block is a capacity × policy matrix of

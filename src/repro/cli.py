@@ -68,9 +68,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
     for exp_id in exp_ids:
         exp = get_experiment(exp_id)
-        t0 = time.time()
+        t0 = time.perf_counter()
         artefact = exp.build(runner)
-        elapsed = time.time() - t0
+        elapsed = time.perf_counter() - t0
         print(f"==== {exp.title} ({elapsed:.1f}s) ====")
         if isinstance(artefact, FigureData):
             print(render_plot(artefact.series, title="", y_label=artefact.y_label))
@@ -118,12 +118,12 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     label = spec.name or Path(args.file).stem
-    t0 = time.time()
+    t0 = time.perf_counter()
     result = spec.run(
         jobs=args.jobs if args.jobs > 1 else None,
         progress=_progress_printer(args.verbose),
     )
-    elapsed = time.time() - t0
+    elapsed = time.perf_counter() - t0
     print(
         f"==== scenario {label}: {len(result)} runs, "
         f"{len(spec.protocols)} protocols, jobs={args.jobs} ({elapsed:.1f}s) ===="
@@ -202,6 +202,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"horizon {st.horizon:.0f}s"
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # tools/ ships alongside src/ in the repo checkout, not in the
+    # installed package — resolve it lazily and fail with guidance.
+    try:
+        from tools.lintkit.engine import run_cli as lint_cli
+    except ImportError:
+        print(
+            "error: reprolint (tools/lintkit) is not importable — run from "
+            "the repository root (`python -m tools.lintkit` needs tools/ on "
+            "sys.path)",
+            file=sys.stderr,
+        )
+        return 2
+    forward = list(args.paths)
+    if args.list_rules:
+        forward.append("--list-rules")
+    if args.strict:
+        forward.append("--strict")
+    if args.format != "text":
+        forward.extend(["--format", args.format])
+    for rule in args.rule or ():
+        forward.extend(["--rule", rule])
+    return lint_cli(forward)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -326,6 +351,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="contact statistics of a trace file")
     p_stats.add_argument("file")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint (determinism & hot-path static analysis)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools"],
+        help="files or directories to lint (default: src tools)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--list-rules", action="store_true")
+    p_lint.add_argument("--strict", action="store_true")
+    p_lint.add_argument("--rule", action="append", default=None, metavar="ID")
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

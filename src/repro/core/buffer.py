@@ -24,7 +24,7 @@ constructed with its own ``capacity``.
 
 from __future__ import annotations
 
-from typing import Iterator, KeysView
+from collections.abc import Iterator, KeysView
 
 from repro.core.bundle import BundleId, StoredBundle
 
@@ -102,7 +102,7 @@ class RelayStore:
         """Ids of all stored copies."""
         return set(self._entries.keys())
 
-    def id_view(self) -> "KeysView[BundleId]":
+    def id_view(self) -> KeysView[BundleId]:
         """Allocation-free live view of the stored ids (read-only)."""
         return self._entries.keys()
 

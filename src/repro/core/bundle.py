@@ -35,6 +35,10 @@ class BundleId:
 
     __slots__ = ("flow", "seq", "_hash")
 
+    flow: int
+    seq: int
+    _hash: int
+
     def __init__(self, flow: int, seq: int) -> None:
         if seq < 1:
             raise ValueError(f"bundle seq is 1-based, got {seq}")
@@ -55,27 +59,27 @@ class BundleId:
             return self.flow == other.flow and self.seq == other.seq
         return NotImplemented
 
-    def __lt__(self, other: "BundleId") -> bool:
+    def __lt__(self, other: BundleId) -> bool:
         if other.__class__ is BundleId:
             return (self.flow, self.seq) < (other.flow, other.seq)
         return NotImplemented
 
-    def __le__(self, other: "BundleId") -> bool:
+    def __le__(self, other: BundleId) -> bool:
         if other.__class__ is BundleId:
             return (self.flow, self.seq) <= (other.flow, other.seq)
         return NotImplemented
 
-    def __gt__(self, other: "BundleId") -> bool:
+    def __gt__(self, other: BundleId) -> bool:
         if other.__class__ is BundleId:
             return (self.flow, self.seq) > (other.flow, other.seq)
         return NotImplemented
 
-    def __ge__(self, other: "BundleId") -> bool:
+    def __ge__(self, other: BundleId) -> bool:
         if other.__class__ is BundleId:
             return (self.flow, self.seq) >= (other.flow, other.seq)
         return NotImplemented
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type[BundleId], tuple[int, int]]:
         return (BundleId, (self.flow, self.seq))
 
     def __repr__(self) -> str:
@@ -138,7 +142,7 @@ class StoredBundle:
         ec: int = 0,
         expiry: float = NO_EXPIRY,
         expiry_event: Any = None,
-        meta: dict | None = None,
+        meta: dict[str, Any] | None = None,
     ) -> None:
         self.bundle = bundle
         self.stored_at = stored_at
@@ -153,7 +157,7 @@ class StoredBundle:
         return self.bundle.bid
 
     @property
-    def meta(self) -> dict:
+    def meta(self) -> dict[str, Any]:
         """Free-form per-copy protocol state (e.g. spray tokens).
 
         Travels with the node's copy, not with the bundle. Materialised on

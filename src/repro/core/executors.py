@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import TYPE_CHECKING, Callable, NamedTuple, Protocol as TypingProtocol, Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, NamedTuple, Protocol as TypingProtocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.protocols.registry import ProtocolConfig
@@ -38,14 +39,14 @@ ProgressHook = Callable[[int, int, "Cell"], None]
 class Cell(NamedTuple):
     """One (trace, protocol, load, replication) point of a sweep grid."""
 
-    trace: "ContactTrace"
-    protocol: "ProtocolConfig"
+    trace: ContactTrace
+    protocol: ProtocolConfig
     load: int
     rep: int
-    sweep: "SweepConfig"
+    sweep: SweepConfig
 
 
-def execute_cell(cell: Cell) -> "RunResult":
+def execute_cell(cell: Cell) -> RunResult:
     """Run one grid cell (module-level so process pools can pickle it)."""
     from repro.core.sweep import run_single
 
@@ -77,7 +78,7 @@ def _init_worker(traces: list, protocols: list, sweeps: list) -> None:
     _WORKER_TABLES = (traces, protocols, sweeps)
 
 
-def _execute_ref(ref: _CellRef) -> "RunResult":
+def _execute_ref(ref: _CellRef) -> RunResult:
     assert _WORKER_TABLES is not None, "worker pool initializer did not run"
     traces, protocols, sweeps = _WORKER_TABLES
     return execute_cell(

@@ -56,15 +56,15 @@ class KnowledgeStore:
     __slots__ = ("_known", "_snapshot", "epoch", "message")
 
     def __init__(self) -> None:
-        self._known: set["BundleId"] = set()
-        self._snapshot: frozenset["BundleId"] | None = None
+        self._known: set[BundleId] = set()
+        self._snapshot: frozenset[BundleId] | None = None
         #: monotonic counter, bumped by every mutation
         self.epoch = 0
         #: cached control payload for the current epoch (maintained by the
         #: owning protocol's ``control_payload``; cleared on mutation)
-        self.message: "ControlMessage | None" = None
+        self.message: ControlMessage | None = None
 
-    def __contains__(self, bid: "BundleId") -> bool:
+    def __contains__(self, bid: BundleId) -> bool:
         return bid in self._known
 
     def __len__(self) -> int:
@@ -74,7 +74,7 @@ class KnowledgeStore:
         return f"KnowledgeStore({len(self._known)} ids, epoch={self.epoch})"
 
     @property
-    def snapshot(self) -> frozenset["BundleId"]:
+    def snapshot(self) -> frozenset[BundleId]:
         """Frozen view of the current knowledge, cached per epoch."""
         snap = self._snapshot
         if snap is None:
@@ -86,7 +86,7 @@ class KnowledgeStore:
         self._snapshot = None
         self.message = None
 
-    def add(self, bid: "BundleId") -> bool:
+    def add(self, bid: BundleId) -> bool:
         """Learn one id. Returns True if it was new (epoch bumped)."""
         known = self._known
         if bid in known:
@@ -95,7 +95,7 @@ class KnowledgeStore:
         self._invalidate()
         return True
 
-    def merge(self, bids: "frozenset[BundleId] | set[BundleId]") -> list["BundleId"]:
+    def merge(self, bids: frozenset[BundleId] | set[BundleId]) -> list[BundleId]:
         """Merge a peer's knowledge; return the newly learned ids.
 
         The common steady-state case — the peer knows nothing new — is a
@@ -104,8 +104,12 @@ class KnowledgeStore:
         known = self._known
         if not bids or (len(bids) <= len(known) and bids <= known):
             return []
-        fresh = [b for b in bids if b not in known]
+        # Membership filtering first (order-free), then one small sort so
+        # the returned list — which callers feed into remove_copy / event
+        # scheduling — never exposes set iteration order.
+        fresh = [b for b in bids if b not in known]  # lint: disable=DET002
         if fresh:
+            fresh.sort()
             known.update(fresh)
             self._invalidate()
         return fresh
@@ -125,7 +129,7 @@ class CumulativeKnowledgeStore:
         #: flow id -> highest seq such that bundles 1..seq are delivered
         self.tables: dict[int, int] = {}
         self.epoch = 0
-        self.message: "ControlMessage | None" = None
+        self.message: ControlMessage | None = None
 
     def __len__(self) -> int:
         return len(self.tables)
@@ -137,7 +141,7 @@ class CumulativeKnowledgeStore:
         """Highest acknowledged seq of ``flow`` (0 when unknown)."""
         return self.tables.get(flow, 0)
 
-    def covers(self, bid: "BundleId") -> bool:
+    def covers(self, bid: BundleId) -> bool:
         return bid.seq <= self.tables.get(bid.flow, 0)
 
     def advance(self, flow: int, seq: int) -> bool:
@@ -150,7 +154,7 @@ class CumulativeKnowledgeStore:
         return True
 
 
-def exchange_control(sim: "Simulation", node_a: "Node", node_b: "Node", now: float) -> None:
+def exchange_control(sim: Simulation, node_a: Node, node_b: Node, now: float) -> None:
     """The knowledge-swap layer of contact start.
 
     Both payloads' *consumed* fields (delivered_ids, cumulative tables,
@@ -172,12 +176,18 @@ def exchange_control(sim: "Simulation", node_a: "Node", node_b: "Node", now: flo
     proto_b = node_b.protocol
     if not (proto_a.exchanges_control or proto_b.exchanges_control):
         return
+    ka = proto_a.knowledge
+    kb = proto_b.knowledge
     pair = None
     elide = False
-    if proto_a.epoch_gated_control and proto_b.epoch_gated_control:
+    if (
+        proto_a.epoch_gated_control
+        and proto_b.epoch_gated_control
+        and ka is not None
+        and kb is not None
+    ):
         pair = (node_a.id, node_b.id)
-        epochs = (proto_a.knowledge.epoch, proto_b.knowledge.epoch)
-        elide = sim.pair_knowledge.get(pair) == epochs
+        elide = sim.pair_knowledge.get(pair) == (ka.epoch, kb.epoch)
     msg_a = proto_a.control_payload(now)
     msg_b = proto_b.control_payload(now)
     units_a = proto_a.control_units(msg_a)
@@ -191,10 +201,10 @@ def exchange_control(sim: "Simulation", node_a: "Node", node_b: "Node", now: flo
         return
     proto_b.receive_control(msg_a, now)
     proto_a.receive_control(msg_b, now)
-    if pair is not None:
+    if pair is not None and ka is not None and kb is not None:
         # Record post-exchange epochs: both sides now hold the union, so
         # equal epochs at the next meeting prove the swap is a no-op.
-        sim.pair_knowledge[pair] = (proto_a.knowledge.epoch, proto_b.knowledge.epoch)
+        sim.pair_knowledge[pair] = (ka.epoch, kb.epoch)
 
 
 __all__ = ["CumulativeKnowledgeStore", "KnowledgeStore", "exchange_control"]

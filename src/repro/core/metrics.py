@@ -32,7 +32,7 @@ Metrics recorded per run:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.bundle import BundleId
 
@@ -162,7 +162,7 @@ class MetricsCollector:
     def __init__(
         self,
         num_nodes: int,
-        buffer_capacity: "int | Sequence[int]",
+        buffer_capacity: int | Sequence[int],
         *,
         record_occupancy: bool = False,
     ) -> None:

@@ -10,7 +10,8 @@ exact; the node itself is bookkeeping only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.core.buffer import RelayStore
 from repro.core.bundle import Bundle, BundleId, StoredBundle
@@ -95,7 +96,7 @@ class Node:
         #: (immunity tables / anti-packets); maintained via the simulation's
         #: ``set_control_storage`` so the occupancy metric stays exact
         self.control_storage = 0.0
-        self.protocol: "Protocol" = None  # type: ignore[assignment]  # bound by Simulation
+        self.protocol: Protocol = None  # type: ignore[assignment]  # bound by Simulation
 
     def __repr__(self) -> str:
         return (
@@ -125,7 +126,7 @@ class Node:
         """
         return list(self.origin.values()) + self.relay.values()
 
-    def iter_sendable(self) -> "Iterator[StoredBundle]":
+    def iter_sendable(self) -> Iterator[StoredBundle]:
         """Allocation-light :meth:`sendable`: iterate, don't materialise.
 
         Callers must not mutate either store while iterating; collect ids

@@ -33,7 +33,8 @@ enforce.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.core.bundle import StoredBundle
 
@@ -56,11 +57,11 @@ class ReferencePlanner:
 
     __slots__ = ("session",)
 
-    def __init__(self, session: "ContactSession") -> None:
+    def __init__(self, session: ContactSession) -> None:
         self.session = session
 
     def _candidates(
-        self, sender: "Node", receiver: "Node", now: float
+        self, sender: Node, receiver: Node, now: float
     ) -> list[StoredBundle]:
         session = self.session
         coin_rejected = session._coin_rejected or ()
@@ -82,7 +83,7 @@ class ReferencePlanner:
         out.sort(key=lambda sb: candidate_key(sb, rid))
         return out
 
-    def plan(self, now: float):
+    def plan(self, now: float) -> tuple[Node, Node, StoredBundle] | None:
         """Next transfer: lower-ID sender preferred, coin flips cached."""
         session = self.session
         for sender, receiver in (
@@ -104,7 +105,7 @@ class IncrementalPlanner:
 
     __slots__ = ("session", "_epoch_ab", "_order_ab", "_epoch_ba", "_order_ba")
 
-    def __init__(self, session: "ContactSession") -> None:
+    def __init__(self, session: ContactSession) -> None:
         self.session = session
         # per-direction cache: the sender's copies in candidate order,
         # valid while the sender's store epoch is unchanged
@@ -113,7 +114,7 @@ class IncrementalPlanner:
         self._epoch_ba = -1
         self._order_ba: list[StoredBundle] = []
 
-    def _order(self, sender: "Node", receiver: "Node", forward: bool) -> list[StoredBundle]:
+    def _order(self, sender: Node, receiver: Node, forward: bool) -> list[StoredBundle]:
         epoch = sender.store_epoch
         if forward:
             if epoch != self._epoch_ab:
@@ -128,7 +129,7 @@ class IncrementalPlanner:
     _EMPTY: list[StoredBundle] = []
 
     @classmethod
-    def _rebuild(cls, sender: "Node", receiver: "Node") -> list[StoredBundle]:
+    def _rebuild(cls, sender: Node, receiver: Node) -> list[StoredBundle]:
         origin = sender.origin
         relay = sender.relay.entries_view()
         if not origin:
@@ -152,8 +153,8 @@ class IncrementalPlanner:
         return order
 
     def _first_offer(
-        self, sender: "Node", receiver: "Node", order: list[StoredBundle], now: float
-    ):
+        self, sender: Node, receiver: Node, order: list[StoredBundle], now: float
+    ) -> StoredBundle | None:
         """First bundle in ``order`` passing all predicates and its coin.
 
         The predicates mirror :meth:`ReferencePlanner._candidates` exactly
@@ -190,7 +191,7 @@ class IncrementalPlanner:
             coin_rejected = rejected
         return None
 
-    def plan(self, now: float):
+    def plan(self, now: float) -> tuple[Node, Node, StoredBundle] | None:
         """Next transfer: lower-ID sender preferred, coin flips cached."""
         session = self.session
         node_a, node_b = session.node_a, session.node_b
@@ -204,7 +205,7 @@ class IncrementalPlanner:
 
 
 #: Planner registry: name → factory taking the owning session.
-PLANNERS: dict[str, Callable[["ContactSession"], object]] = {
+PLANNERS: dict[str, Callable[[ContactSession], object]] = {
     "incremental": IncrementalPlanner,
     "reference": ReferencePlanner,
 }

@@ -61,7 +61,7 @@ class DropPolicy:
     #: Registry name; subclasses must set this.
     name = "abstract"
 
-    def __init__(self, rng: "np.random.Generator | None" = None) -> None:
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
         self.rng = rng
 
     def can_make_room(self, store: RelayStore, incoming: Bundle) -> bool:
@@ -176,7 +176,7 @@ def drop_policy_names() -> list[str]:
 
 
 def make_drop_policy(
-    name: str, rng: "np.random.Generator | None" = None
+    name: str, rng: np.random.Generator | None = None
 ) -> DropPolicy:
     """Instantiate a registered drop policy.
 

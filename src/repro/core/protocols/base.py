@@ -29,7 +29,8 @@ executable.
 from __future__ import annotations
 
 from itertools import chain
-from typing import TYPE_CHECKING, Callable, Protocol as TypingProtocol
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Protocol as TypingProtocol
 
 from repro.core.buffer import BufferFullError
 from repro.core.bundle import Bundle, BundleId, StoredBundle
@@ -37,6 +38,7 @@ from repro.core.bundle import Bundle, BundleId, StoredBundle
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
+    from repro.core.knowledge import CumulativeKnowledgeStore, KnowledgeStore
     from repro.core.node import Node
 
 
@@ -46,19 +48,19 @@ class SimulationServices(TypingProtocol):
     @property
     def now(self) -> float: ...
 
-    def remove_copy(self, node: "Node", bid: BundleId, reason: str) -> None:
+    def remove_copy(self, node: Node, bid: BundleId, reason: str) -> None:
         """Remove a live copy (origin or relay) with metric bookkeeping."""
 
-    def evict_copy(self, node: "Node", bid: BundleId, policy: str) -> None:
+    def evict_copy(self, node: Node, bid: BundleId, policy: str) -> None:
         """Evict a relay copy under buffer pressure, charged to ``policy``."""
 
-    def set_expiry(self, node: "Node", sb: StoredBundle, expiry: float) -> None:
+    def set_expiry(self, node: Node, sb: StoredBundle, expiry: float) -> None:
         """(Re)schedule TTL expiry for a stored copy."""
 
-    def count_control_units(self, node: "Node", kind: str, units: int) -> None:
+    def count_control_units(self, node: Node, kind: str, units: int) -> None:
         """Account control-plane transmissions (anti-packets, immunity...)."""
 
-    def set_control_storage(self, node: "Node", slots: float) -> None:
+    def set_control_storage(self, node: Node, slots: float) -> None:
         """Set the node's stored-table footprint in (fractional) slots."""
 
 
@@ -91,7 +93,7 @@ class ControlMessage:
     def __init__(
         self,
         sender: int,
-        summary: "frozenset[BundleId] | Callable[[], frozenset[BundleId]]" = frozenset(),
+        summary: frozenset[BundleId] | Callable[[], frozenset[BundleId]] = frozenset(),
         delivered_ids: frozenset[BundleId] = frozenset(),
         cumulative: dict[int, int] | None = None,
         extras: dict[str, object] | None = None,
@@ -155,7 +157,7 @@ class Protocol:
     #: (:class:`~repro.core.knowledge.KnowledgeStore` or
     #: :class:`~repro.core.knowledge.CumulativeKnowledgeStore`), or None
     #: for protocols without control-plane state.
-    knowledge = None
+    knowledge: KnowledgeStore | CumulativeKnowledgeStore | None = None
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -182,7 +184,7 @@ class Protocol:
         ):
             cls.epoch_gated_control = False
 
-    def __init__(self, node: "Node", sim: SimulationServices, rng: "np.random.Generator") -> None:
+    def __init__(self, node: Node, sim: SimulationServices, rng: np.random.Generator) -> None:
         self.node = node
         self.sim = sim
         self.rng = rng
@@ -192,7 +194,7 @@ class Protocol:
     def on_bundle_created(self, sb: StoredBundle, now: float) -> None:
         """Called when this node originates ``sb`` (sets initial TTL etc.)."""
 
-    def on_encounter_started(self, peer: "Node", now: float) -> None:
+    def on_encounter_started(self, peer: Node, now: float) -> None:
         """Called at contact start, after encounter history is updated."""
 
     # ---------------------------------------------------------- control plane
@@ -233,7 +235,7 @@ class Protocol:
 
     # ------------------------------------------------------------- send side
 
-    def should_offer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+    def should_offer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
         """Decide (possibly probabilistically) to offer ``sb`` this contact.
 
         Called at most once per (bundle, contact); a False answer is cached
@@ -241,7 +243,7 @@ class Protocol:
         """
         return True
 
-    def confirm_transfer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+    def confirm_transfer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
         """Final go/no-go when a planned transfer completes.
 
         Between planning and completion (one ``bundle_tx_time``), concurrent
@@ -252,7 +254,7 @@ class Protocol:
         """
         return True
 
-    def on_transmitted(self, sb: StoredBundle, peer: "Node", now: float) -> None:
+    def on_transmitted(self, sb: StoredBundle, peer: Node, now: float) -> None:
         """Update the sender's copy after a completed transmission.
 
         Base behaviour increments the copy's encounter count (the EC tag

@@ -82,7 +82,7 @@ class ECConfig:
         return "Epidemic with EC"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> ECEpidemic:
         return ECEpidemic(node, sim, rng)
 
@@ -126,7 +126,7 @@ class ECTTLEpidemic(ECEpidemic):
             return
         self.sim.set_expiry(self.node, sb, now + ttl)
 
-    def should_offer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+    def should_offer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
         if sb.bundle.destination == peer.id:
             return True  # delivering to the destination is always worth it
         ttl_after = self._ttl_for_ec(sb.ec + 1)
@@ -134,7 +134,7 @@ class ECTTLEpidemic(ECEpidemic):
             return False  # over-duplicated: not worth another transmission
         return True
 
-    def on_transmitted(self, sb: StoredBundle, peer: "Node", now: float) -> None:
+    def on_transmitted(self, sb: StoredBundle, peer: Node, now: float) -> None:
         super().on_transmitted(sb, peer, now)  # ec += 1
         self._apply_ageing(sb, now)
 
@@ -178,7 +178,7 @@ class ECTTLConfig:
         return f"Epidemic with EC+TTL (thr={self.ec_threshold})"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> ECTTLEpidemic:
         return ECTTLEpidemic(
             node,

@@ -50,16 +50,16 @@ class BinarySprayAndWait(Protocol):
     def on_bundle_created(self, sb: StoredBundle, now: float) -> None:
         sb.meta[_TOKENS] = self.initial_tokens
 
-    def should_offer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+    def should_offer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
         if sb.bundle.destination == peer.id:
             return True  # the wait phase: direct delivery is always allowed
         return sb.meta.get(_TOKENS, 1) > 1
 
-    def confirm_transfer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+    def confirm_transfer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
         # a concurrent contact may have spent the tokens mid-flight
         return self.should_offer(sb, peer, now)
 
-    def on_transmitted(self, sb: StoredBundle, peer: "Node", now: float) -> None:
+    def on_transmitted(self, sb: StoredBundle, peer: Node, now: float) -> None:
         super().on_transmitted(sb, peer, now)
         if sb.bundle.destination == peer.id:
             return  # delivery consumes no tokens
@@ -99,7 +99,7 @@ class SprayAndWaitConfig:
         return f"Binary Spray-and-Wait (L={self.initial_tokens})"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> BinarySprayAndWait:
         return BinarySprayAndWait(node, sim, rng, initial_tokens=self.initial_tokens)
 
@@ -146,7 +146,7 @@ class Prophet(Protocol):
                 del self._p[key]
         self._last_aged = now
 
-    def on_encounter_started(self, peer: "Node", now: float) -> None:
+    def on_encounter_started(self, peer: Node, now: float) -> None:
         self._age(now)
         prev = self._p.get(peer.id, 0.0)
         self._p[peer.id] = prev + (1.0 - prev) * self.p_init
@@ -177,7 +177,7 @@ class Prophet(Protocol):
 
     # ------------------------------------------------------------- forwarding
 
-    def should_offer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+    def should_offer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
         dest = sb.bundle.destination
         if dest == peer.id:
             return True
@@ -215,7 +215,7 @@ class ProphetConfig:
         return f"PRoPHET (Pinit={self.p_init:g})"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> Prophet:
         return Prophet(
             node,

@@ -54,7 +54,7 @@ class ImmunityConfig:
         return "Epidemic with immunity"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> ImmunityEpidemic:
         return ImmunityEpidemic(node, sim, rng)
 
@@ -154,6 +154,6 @@ class CumulativeImmunityConfig:
         return "Epidemic with cumulative immunity"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> CumulativeImmunityEpidemic:
         return CumulativeImmunityEpidemic(node, sim, rng)

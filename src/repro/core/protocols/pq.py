@@ -45,7 +45,7 @@ class _PQCoinMixin:
     p: float
     q: float
 
-    def should_offer(self, sb: StoredBundle, peer: "Node", now: float) -> bool:
+    def should_offer(self, sb: StoredBundle, peer: Node, now: float) -> bool:
         prob = self.p if sb.bundle.source == self.node.id else self.q  # type: ignore[attr-defined]
         if prob >= 1.0:
             return True
@@ -104,7 +104,7 @@ class PQEpidemicConfig:
         return f"P-Q epidemic (P={self.p:g}, Q={self.q:g}{suffix})"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> Protocol:
         cls = PQAntiPacketEpidemic if self.anti_packets else PQEpidemic
         return cls(node, sim, rng, p=self.p, q=self.q)

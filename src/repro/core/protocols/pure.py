@@ -42,7 +42,7 @@ class PureEpidemicConfig:
         return "Pure epidemic"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> PureEpidemic:
         """Bind a protocol instance to ``node``."""
         return PureEpidemic(node, sim, rng)

@@ -15,7 +15,8 @@ users a single extension point::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, Protocol as TypingProtocol
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any, Protocol as TypingProtocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
@@ -33,8 +34,8 @@ class ProtocolConfig(TypingProtocol):
     def label(self) -> str: ...
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
-    ) -> "Protocol": ...
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
+    ) -> Protocol: ...
 
 
 _REGISTRY: dict[str, type] = {}

@@ -68,7 +68,7 @@ class FixedTTLEpidemic(Protocol):
     ) -> None:
         self._arm(sb, now)
 
-    def on_transmitted(self, sb: StoredBundle, peer: "Node", now: float) -> None:
+    def on_transmitted(self, sb: StoredBundle, peer: Node, now: float) -> None:
         super().on_transmitted(sb, peer, now)
         self._arm(sb, now)  # renewal: forwarding proves the copy is useful
 
@@ -101,7 +101,7 @@ class FixedTTLConfig:
         return f"Epidemic with TTL={self.ttl:g}{suffix}"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> FixedTTLEpidemic:
         return FixedTTLEpidemic(
             node, sim, rng, ttl=self.ttl, expire_origin=self.expire_origin
@@ -144,11 +144,11 @@ class DynamicTTLEpidemic(Protocol):
     ) -> None:
         self._arm(sb, now)
 
-    def on_transmitted(self, sb: StoredBundle, peer: "Node", now: float) -> None:
+    def on_transmitted(self, sb: StoredBundle, peer: Node, now: float) -> None:
         super().on_transmitted(sb, peer, now)
         self._arm(sb, now)
 
-    def on_encounter_started(self, peer: "Node", now: float) -> None:
+    def on_encounter_started(self, peer: Node, now: float) -> None:
         # SetDynamicTTL re-runs for every buffered copy whenever the node's
         # interval estimate updates — the adaptive dry-spell collector.
         for sb in self.node.relay:
@@ -186,7 +186,7 @@ class DynamicTTLConfig:
         return f"Epidemic with dynamic TTL (x{self.multiplier:g}{suffix})"
 
     def build(
-        self, node: "Node", sim: "SimulationServices", rng: "np.random.Generator"
+        self, node: Node, sim: SimulationServices, rng: np.random.Generator
     ) -> DynamicTTLEpidemic:
         return DynamicTTLEpidemic(
             node,

@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mobility.contact import Contact
 
 
-def contact_bookkeeping(sim: "Simulation", node_a: "Node", node_b: "Node", now: float) -> None:
+def contact_bookkeeping(sim: Simulation, node_a: Node, node_b: Node, now: float) -> None:
     """The transfer-free layers of contact start: encounter → knowledge.
 
     Encounter layer: history + the ``on_encounter_started`` hook.
@@ -71,8 +71,8 @@ def contact_bookkeeping(sim: "Simulation", node_a: "Node", node_b: "Node", now: 
 
 
 def begin_contact(
-    sim: "Simulation", contact: "Contact", session: "ContactSession | None" = None
-) -> "ContactSession | None":
+    sim: Simulation, contact: Contact, session: ContactSession | None = None
+) -> ContactSession | None:
     """Contact-start orchestration: bookkeeping layers, then the first slot.
 
     The encounter/knowledge bookkeeping (:func:`contact_bookkeeping`) runs
@@ -108,7 +108,7 @@ class ContactSession:
     """
 
     @staticmethod
-    def link_budget(sim: "Simulation", contact: "Contact") -> tuple[float, int]:
+    def link_budget(sim: Simulation, contact: Contact) -> tuple[float, int]:
         """(per-bundle transfer time, whole-bundle slot count) of a contact.
 
         The transfer time is the slower of the two radios when
@@ -122,8 +122,8 @@ class ContactSession:
 
     def __init__(
         self,
-        sim: "Simulation",
-        contact: "Contact",
+        sim: Simulation,
+        contact: Contact,
         tx_time: float | None = None,
         budget: int | None = None,
     ) -> None:
@@ -178,7 +178,7 @@ class ContactSession:
     # -------------------------------------------------------------- completion
 
     def _on_transfer_complete(
-        self, sender: "Node", receiver: "Node", sb: StoredBundle
+        self, sender: Node, receiver: Node, sb: StoredBundle
     ) -> None:
         now = self.sim.engine.now
         self.budget -= 1

@@ -500,7 +500,7 @@ class Simulation:
             self.metrics.signaling.summary_vector += 2 * batched
             counts = np.bincount(a_ids[:fired][zmask], minlength=len(nodes))
             counts += np.bincount(b_ids[:fired][zmask], minlength=len(nodes))
-            for node, encounters in zip(nodes, counts.tolist()):
+            for node, encounters in zip(nodes, counts.tolist(), strict=True):
                 if encounters:
                     node.counters.control_units_sent += encounters
         self._defer_history = False
@@ -577,7 +577,7 @@ class Simulation:
             zero_list = zero_mask.tolist()
             self.engine.schedule_sorted(
                 (contact.start, self._begin_contact, (contact,))
-                for contact, degenerate in zip(contacts, zero_list)
+                for contact, degenerate in zip(contacts, zero_list, strict=True)
                 if not degenerate
             )
         elif self._antipacket_native():
@@ -613,7 +613,7 @@ class Simulation:
             zero_list = zero_mask.tolist()
             self.engine.schedule_sorted(
                 (contact.start, degen if degenerate else begin, (contact,))
-                for contact, degenerate in zip(contacts, zero_list)
+                for contact, degenerate in zip(contacts, zero_list, strict=True)
             )
         self.engine.run(until=horizon)
         end_time = self.engine.now

@@ -11,7 +11,7 @@ paper gets implicitly by replaying the same trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

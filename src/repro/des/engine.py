@@ -18,7 +18,8 @@ from __future__ import annotations
 import enum
 import heapq
 import math
-from typing import Any, Callable, Iterable
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
 
 from repro.des.event import EventHandle, PRIORITY_NORMAL
 from repro.des.queue import EventQueue
@@ -36,6 +37,8 @@ class StopCondition(enum.Enum):
 
 class Engine:
     """Sequential discrete-event engine with a monotonic clock."""
+
+    __slots__ = ("_now", "_queue", "_halted", "_events_fired")
 
     def __init__(self, *, start_time: float = 0.0) -> None:
         if not math.isfinite(start_time) or start_time < 0:
@@ -93,7 +96,7 @@ class Engine:
         action: Callable[..., Any],
         *args: Any,
         priority: int = PRIORITY_NORMAL,
-        tag: "str | Callable[[], str]" = "",
+        tag: str | Callable[[], str] = "",
     ) -> EventHandle:
         """Schedule ``action(*args)`` at absolute ``time``.
 
@@ -112,7 +115,7 @@ class Engine:
         action: Callable[..., Any],
         *args: Any,
         priority: int = PRIORITY_NORMAL,
-        tag: "str | Callable[[], str]" = "",
+        tag: str | Callable[[], str] = "",
     ) -> EventHandle:
         """Schedule ``action(*args)`` ``delay`` time units from now (>= 0)."""
         if delay < 0:
@@ -122,7 +125,7 @@ class Engine:
         )
 
     def schedule_sorted(
-        self, items: Iterable[tuple[float, Callable[..., Any], tuple]]
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple[Any, ...]]]
     ) -> int:
         """Bulk-load time-ordered ``(time, action, args)`` triples (see queue docs).
 
@@ -142,7 +145,7 @@ class Engine:
                 f"cannot schedule at t={first[0]} before current time t={self._now}"
             )
 
-        def _chained() -> Iterable[tuple[float, Callable[..., Any]]]:
+        def _chained() -> Iterator[tuple[float, Callable[..., Any], tuple[Any, ...]]]:
             yield first
             yield from it
 
@@ -210,7 +213,9 @@ class Engine:
             self._now = ev.time
             self._events_fired += 1
             fired_this_call += 1
-            ev.action(*ev.args)
+            # action is Optional only so Event() can construct empty; every
+            # queue-created event carries one
+            ev.action(*ev.args)  # type: ignore[misc]
 
     def step(self) -> bool:
         """Fire exactly one event. Returns False if the queue was empty."""
@@ -219,5 +224,5 @@ class Engine:
             return False
         self._now = ev.time
         self._events_fired += 1
-        ev.action(*ev.args)
+        ev.action(*ev.args)  # type: ignore[misc]
         return True

@@ -21,7 +21,8 @@ already self-describing through ``action``/``args`` (see
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 0
@@ -55,8 +56,8 @@ class Event:
         priority: int = PRIORITY_NORMAL,
         seq: int = 0,
         action: Callable[..., Any] | None = None,
-        args: tuple = (),
-        tag: "str | Callable[[], str]" = "",
+        args: tuple[Any, ...] = (),
+        tag: str | Callable[[], str] = "",
     ) -> None:
         self.time = time
         self.priority = priority
@@ -87,7 +88,7 @@ class Event:
         """Return the total-order key used by the event queue."""
         return (self.time, self.priority, self.seq)
 
-    def __lt__(self, other: "Event") -> bool:
+    def __lt__(self, other: Event) -> bool:
         return (self.time, self.priority, self.seq) < (
             other.time,
             other.priority,

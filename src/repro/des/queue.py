@@ -20,13 +20,16 @@ event list without N× ``heappush``.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
 
 from repro.des.event import Event, EventHandle, PRIORITY_NORMAL
 
 
 class EventQueue:
     """Priority queue of :class:`Event` objects ordered by (time, priority, seq)."""
+
+    __slots__ = ("_heap", "_seq", "_dead")
 
     #: Compact the heap when dead entries exceed this fraction of the heap.
     _COMPACT_RATIO = 0.5
@@ -56,7 +59,7 @@ class EventQueue:
         action: Callable[..., Any],
         *args: Any,
         priority: int = PRIORITY_NORMAL,
-        tag: "str | Callable[[], str]" = "",
+        tag: str | Callable[[], str] = "",
     ) -> EventHandle:
         """Schedule ``action(*args)`` at ``time`` and return a cancel handle.
 
@@ -72,7 +75,7 @@ class EventQueue:
         return handle
 
     def schedule_sorted(
-        self, items: Iterable[tuple[float, Callable[..., Any], tuple]]
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple[Any, ...]]]
     ) -> int:
         """Bulk-load ``(time, action, args)`` triples already ordered by time.
 

@@ -15,8 +15,9 @@ endpoint selection, P-Q coin flips, …) draws from its *own*
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable
 from functools import lru_cache
-from typing import Iterable
+from typing import Any
 
 import numpy as np
 
@@ -30,7 +31,7 @@ def _key_to_ints(key: str) -> tuple[int, ...]:
     salted). Component names recur constantly (two streams per node per
     run), so the digest is memoised.
     """
-    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    digest = hashlib.sha256(key.encode()).digest()
     return tuple(int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4))
 
 
@@ -72,6 +73,8 @@ class RngHub:
         True
     """
 
+    __slots__ = ("master_seed", "_streams")
+
     def __init__(self, master_seed: int) -> None:
         self.master_seed = int(master_seed)
         self._streams: dict[tuple[str | int, ...], np.random.Generator] = {}
@@ -92,7 +95,7 @@ class RngHub:
             raise ValueError("at least one key is required")
         return np.random.default_rng(derive_seed(self.master_seed, *keys))
 
-    def lazy_stream(self, *keys: str | int) -> "LazyStream":
+    def lazy_stream(self, *keys: str | int) -> LazyStream:
         """A deferred :meth:`stream`: the generator is built on first draw.
 
         Simulation setup hands two streams to every node, but most
@@ -114,7 +117,7 @@ class LazyStream:
     def __init__(self, hub: RngHub, keys: tuple[str | int, ...]) -> None:
         self._hub = hub
         self._keys = keys
-        self._rng = None
+        self._rng: np.random.Generator | None = None
 
     @property
     def generator(self) -> np.random.Generator:
@@ -124,7 +127,7 @@ class LazyStream:
             rng = self._rng = self._hub.stream(*self._keys)
         return rng
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # only reached for names not in __slots__, i.e. Generator API
         return getattr(self.generator, name)
 

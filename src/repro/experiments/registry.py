@@ -10,7 +10,7 @@ registry, so ``python -m repro run fig13`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.analysis.figures import FigureData, build_figure
 from repro.analysis.tables import (

@@ -16,7 +16,7 @@ the tables below — no ``if``/``elif`` chain to extend.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.executors import Executor
 from repro.core.protocols.registry import ProtocolConfig

@@ -22,7 +22,7 @@ to the historical refuse-when-full rule — the regression tests pin this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.core.executors import Cell, Executor, SerialExecutor
 from repro.core.results import SweepResult

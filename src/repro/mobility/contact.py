@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
@@ -75,7 +76,7 @@ class Contact:
             return self.a
         raise ValueError(f"node {node} is not part of contact {self}")
 
-    def overlaps(self, other: "Contact") -> bool:
+    def overlaps(self, other: Contact) -> bool:
         """True if the two contacts' time windows intersect."""
         return self.start < other.end and other.start < self.end
 
@@ -104,7 +105,7 @@ class ContactTrace:
     _by_pair: dict[tuple[int, int], list[Contact]] | None = field(
         init=False, repr=False, compare=False, default=None
     )
-    _arrays: "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None" = field(
+    _arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = field(
         init=False, repr=False, compare=False, default=None
     )
 
@@ -183,7 +184,7 @@ class ContactTrace:
         order. O(k) per call after a one-off lazy index build."""
         return list(self._pair_index().get(pair_key(a, b), ()))
 
-    def contact_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    def contact_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """The trace as columnar NumPy arrays ``(starts, ends, a, b)``.
 
         Built lazily on first call and cached (the contact list is
@@ -214,7 +215,7 @@ class ContactTrace:
         i = bisect.bisect_left(self._starts, t)
         return self.contacts[i] if i < len(self.contacts) else None
 
-    def window(self, t0: float, t1: float) -> "ContactTrace":
+    def window(self, t0: float, t1: float) -> ContactTrace:
         """Contacts fully contained in ``[t0, t1)``, re-based to start at 0."""
         if not t1 > t0:
             raise ValueError("window requires t1 > t0")
@@ -241,7 +242,7 @@ class ContactTrace:
         *,
         horizon: float | None = None,
         name: str = "",
-    ) -> "ContactTrace":
+    ) -> ContactTrace:
         """Build a trace from ``(start, end, a, b)`` tuples."""
         return cls(
             [Contact(start=s, end=e, a=a, b=b) for (s, e, a, b) in rows],
@@ -250,7 +251,7 @@ class ContactTrace:
             name=name,
         )
 
-    def merged_with(self, other: "ContactTrace") -> "ContactTrace":
+    def merged_with(self, other: ContactTrace) -> ContactTrace:
         """Union of two traces over the same population."""
         if other.num_nodes != self.num_nodes:
             raise ValueError("cannot merge traces with different populations")
@@ -262,7 +263,7 @@ class ContactTrace:
             name=self.name or other.name,
         )
 
-    def coalesced(self) -> "ContactTrace":
+    def coalesced(self) -> ContactTrace:
         """Merge overlapping/adjacent contacts of the same pair into one.
 
         Mobility generators can emit back-to-back encounters for a pair (e.g.
@@ -293,7 +294,7 @@ class ContactTrace:
             by_pair.setdefault(c.pair, []).append(c)
         for pair, cs in by_pair.items():
             cs.sort()
-            for prev, nxt in zip(cs, cs[1:]):
+            for prev, nxt in zip(cs, cs[1:], strict=False):
                 if nxt.start < prev.end:
                     raise ValueError(
                         f"pair {pair} has overlapping contacts {prev} and {nxt}"
@@ -301,8 +302,8 @@ class ContactTrace:
 
 
 def zero_transfer_mask(
-    trace: ContactTrace, bundle_tx_time: "float | Sequence[float]"
-) -> "np.ndarray":
+    trace: ContactTrace, bundle_tx_time: float | Sequence[float]
+) -> np.ndarray:
     """Boolean mask of contacts whose duration admits zero transfers.
 
     A contact carries ``floor(duration / tx_time)`` bundles, with the
@@ -319,7 +320,7 @@ def zero_transfer_mask(
 
     starts, ends, a, b = trace.contact_arrays()
     if isinstance(bundle_tx_time, (int, float)):
-        tx: "float | np.ndarray" = float(bundle_tx_time)
+        tx: float | np.ndarray = float(bundle_tx_time)
     else:
         per_node = np.asarray(bundle_tx_time, dtype=np.float64)
         tx = np.maximum(per_node[a], per_node[b])
@@ -338,4 +339,4 @@ def all_pairs(num_nodes: int) -> list[tuple[int, int]]:
 
 def contacts_sorted(contacts: Sequence[Contact]) -> bool:
     """True if ``contacts`` is sorted by (start, end, a, b)."""
-    return all(x <= y for x, y in zip(contacts, contacts[1:]))
+    return all(x <= y for x, y in zip(contacts, contacts[1:], strict=False))

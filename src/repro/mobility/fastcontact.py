@@ -375,7 +375,7 @@ def _fold_contacts(
 
     cur_a, cur_b = a_l[0], b_l[0]
     cur_s, cur_e = s_l[0], e_l[0]
-    for s, e, i, j in zip(s_l[1:], e_l[1:], a_l[1:], b_l[1:]):
+    for s, e, i, j in zip(s_l[1:], e_l[1:], a_l[1:], b_l[1:], strict=True):
         if i == cur_a and j == cur_b and s <= cur_e + 1e-9:
             if e > cur_e:
                 cur_e = e

@@ -32,7 +32,7 @@ class SeriesSummary:
     maximum: float
 
     @classmethod
-    def of(cls, values: list[float]) -> "SeriesSummary":
+    def of(cls, values: list[float]) -> SeriesSummary:
         if not values:
             return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
         arr = np.asarray(values, dtype=float)
@@ -92,7 +92,7 @@ def per_pair_gaps(trace: ContactTrace) -> dict[tuple[int, int], list[float]]:
     for pair, windows in by_pair.items():
         windows.sort()
         gaps[pair] = [
-            max(0.0, nxt[0] - prev[1]) for prev, nxt in zip(windows, windows[1:])
+            max(0.0, nxt[0] - prev[1]) for prev, nxt in zip(windows, windows[1:], strict=False)
         ]
     return gaps
 
@@ -110,7 +110,7 @@ def per_node_gaps(trace: ContactTrace) -> dict[int, list[float]]:
     """Gaps between a node's successive encounter starts."""
     out: dict[int, list[float]] = {}
     for node, starts in per_node_encounter_times(trace).items():
-        out[node] = [b - a for a, b in zip(starts, starts[1:])]
+        out[node] = [b - a for a, b in zip(starts, starts[1:], strict=False)]
     return out
 
 

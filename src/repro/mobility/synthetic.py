@@ -191,7 +191,7 @@ class CampusTraceGenerator:
         )
         contacts: list[Contact] = []
         prev_end = -math.inf
-        for s, d in zip(starts.tolist(), durations.tolist()):
+        for s, d in zip(starts.tolist(), durations.tolist(), strict=True):
             if c.diurnal and not self._is_daytime(s):
                 if rng.random() > c.night_activity:
                     continue
@@ -273,7 +273,7 @@ class CampusTraceGenerator:
             scales = np.ones(len(pair_list))
         contacts: list[Contact] = []
         pair_seeds = root.spawn(len(pair_list) + 2)[2:]
-        for (i, j), scale, ss in zip(pair_list, scales.tolist(), pair_seeds):
+        for (i, j), scale, ss in zip(pair_list, scales.tolist(), pair_seeds, strict=True):
             if (i, j) not in friends:
                 if c.background_activity <= 0.0:
                     continue

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.mobility.contact import Contact, ContactTrace
 from repro.mobility.fastcontact import extract_contacts_fast
@@ -64,7 +64,7 @@ class Trajectory:
     def __init__(self, node: int, segments: Sequence[Segment]) -> None:
         if not segments:
             raise ValueError("trajectory needs at least one segment")
-        for prev, nxt in zip(segments, segments[1:]):
+        for prev, nxt in zip(segments, segments[1:], strict=False):
             if not math.isclose(prev.t1, nxt.t0, rel_tol=0, abs_tol=1e-9):
                 raise ValueError(
                     f"segments not contiguous: {prev.t1} -> {nxt.t0}"

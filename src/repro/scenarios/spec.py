@@ -28,7 +28,8 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence, TextIO
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any, TextIO
 
 from repro.core.executors import Executor
 from repro.core.protocols.registry import ProtocolConfig, make_protocol_config
@@ -100,7 +101,7 @@ def build_mobility(kind: str, *, seed: int = 0, **params: Any) -> ContactTrace:
         raise ValueError(f"bad parameters for mobility {kind!r}: {exc}") from exc
 
 
-def _config_from_params(cls: type, params: Mapping[str, Any]) -> Any:
+def _config_from_params(cls: type[Any], params: Mapping[str, Any]) -> Any:
     """Instantiate a config dataclass, rejecting unknown parameter names."""
     known = {f.name for f in dataclasses.fields(cls)}
     unknown = sorted(set(params) - known)
@@ -227,7 +228,7 @@ class MobilitySpec:
         return out
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "MobilitySpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> MobilitySpec:
         _check_keys("MobilitySpec", data, ["kind", "params", "seed"])
         if "kind" not in data:
             raise ValueError("MobilitySpec requires a 'kind' key")
@@ -266,7 +267,7 @@ class ProtocolSpec:
         return out
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> ProtocolSpec:
         _check_keys("ProtocolSpec", data, ["name", "params"])
         if "name" not in data:
             raise ValueError("ProtocolSpec requires a 'name' key")
@@ -297,7 +298,7 @@ class WorkloadSpec:
         return {"loads": list(self.loads), "replications": self.replications}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> WorkloadSpec:
         _check_keys("WorkloadSpec", data, ["loads", "replications"])
         kwargs: dict[str, Any] = {}
         if "loads" in data:
@@ -457,7 +458,7 @@ class ScenarioSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> ScenarioSpec:
         _check_keys(
             "ScenarioSpec",
             data,
@@ -508,7 +509,7 @@ class ScenarioSpec:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str) -> "ScenarioSpec":
+    def from_json(cls, text: str) -> ScenarioSpec:
         """Parse a scenario from a JSON document.
 
         Raises:
@@ -529,7 +530,7 @@ class ScenarioSpec:
             dest.write(text)
 
     @classmethod
-    def load(cls, source: str | Path | TextIO) -> "ScenarioSpec":
+    def load(cls, source: str | Path | TextIO) -> ScenarioSpec:
         """Read a scenario JSON file (path or open stream)."""
         if isinstance(source, (str, Path)):
             text = Path(source).read_text(encoding="utf-8")

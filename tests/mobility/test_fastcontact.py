@@ -44,7 +44,7 @@ def assert_equivalent(exact, fast, *, tolerance=1e-6):
     """Same pairs, same window counts, windows within ``tolerance`` seconds."""
     assert len(exact) == len(fast)
     assert [c.pair for c in exact] == [c.pair for c in fast]
-    for ce, cf in zip(exact, fast):
+    for ce, cf in zip(exact, fast, strict=True):
         assert abs(ce.start - cf.start) <= tolerance
         assert abs(ce.end - cf.end) <= tolerance
 

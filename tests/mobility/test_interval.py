@@ -48,7 +48,7 @@ class TestGeneration:
             by_node.setdefault(c.b, []).append(c)
         for contacts in by_node.values():
             contacts.sort()
-            for prev, nxt in zip(contacts, contacts[1:]):
+            for prev, nxt in zip(contacts, contacts[1:], strict=False):
                 assert nxt.start >= prev.end
 
     def test_min_rest_between_encounters(self, trace):
@@ -59,7 +59,7 @@ class TestGeneration:
             by_node.setdefault(c.b, []).append(c)
         for contacts in by_node.values():
             contacts.sort()
-            for prev, nxt in zip(contacts, contacts[1:]):
+            for prev, nxt in zip(contacts, contacts[1:], strict=False):
                 assert nxt.start - prev.end >= cfg.min_interval - 1e-9
 
     def test_durations_within_bounds(self, trace):

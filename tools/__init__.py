@@ -1,0 +1,6 @@
+"""Developer tooling for the repo: benchmarks and the ``reprolint`` suite.
+
+The benchmark scripts (``bench_*.py``, ``calibrate.py``) are plain
+scripts; :mod:`tools.lintkit` is an importable package so the static
+analyzer can run as ``python -m tools.lintkit`` and be unit-tested.
+"""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 Row = Mapping[str, object]
 
@@ -171,10 +171,10 @@ def summary_table(rows: Sequence[Row], columns: Sequence[str]) -> str:
         max(len(c), *(len(str(r.get(c, ""))) for r in rows)) if rows else len(c)
         for c in columns
     ]
-    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths, strict=True))
     lines = [header, "  ".join("-" * w for w in widths)]
     for r in rows:
         lines.append(
-            "  ".join(str(r.get(c, "")).ljust(w) for c, w in zip(columns, widths))
+            "  ".join(str(r.get(c, "")).ljust(w) for c, w in zip(columns, widths, strict=True))
         )
     return "\n".join(lines)

@@ -85,7 +85,7 @@ def trace_divergence(a: ContactTrace, b: ContactTrace) -> float:
         cb = pb[pair]
         if len(ca) != len(cb):
             return math.inf
-        for x, y in zip(ca, cb):
+        for x, y in zip(ca, cb, strict=True):
             worst = max(worst, abs(x.start - y.start), abs(x.end - y.end))
     return worst
 

@@ -1,0 +1,32 @@
+"""``reprolint`` — project static analyzer for determinism & hot-path rules.
+
+Run as ``python -m tools.lintkit [paths...]`` or via ``repro lint``.
+See :mod:`tools.lintkit.rules` for the rule inventory and
+:mod:`tools.lintkit.engine` for the engine.
+"""
+
+from __future__ import annotations
+
+from tools.lintkit.engine import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Rule,
+    SourceFile,
+    Violation,
+    lint_paths,
+    lint_sources,
+    run_cli,
+)
+from tools.lintkit.rules import default_rules
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "default_rules",
+    "lint_paths",
+    "lint_sources",
+    "run_cli",
+]

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m tools.lintkit``."""
+
+from tools.lintkit.engine import run_cli
+
+raise SystemExit(run_cli())
