@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hybrid-fidelity scale-out: sweep 10^5–10^6 nodes on the analytic engine.
+
+The event-driven simulator tops out around a few thousand nodes per core;
+the analytic surrogate (``engine="ode"``) integrates the same epidemic
+mean-field the DES samples, so a million-node sweep costs milliseconds.
+This example runs pure epidemic at three population sizes, times each
+sweep, and checks the surrogate delay against the closed-form large-N law
+
+    E[T] ~ ln(N) / (beta * (N - 1))
+
+from Zhang et al.'s fluid model. For the hybrid workflow that *anchors*
+such extrapolations against small DES runs first, see
+``examples/scenarios/analytic_scale.json`` and docs/architecture.md.
+
+Run:  PYTHONPATH=src python examples/analytic_scale.py
+"""
+
+import math
+import time
+
+from repro import SimulationConfig, SweepConfig, make_protocol_config, run_sweep
+from repro.analytic import make_analytic_model
+
+# Meeting rate scaled so the sweep horizon stays moderate at every N: each
+# node still meets ~beta*N peers per unit time as the population grows.
+CASES = [
+    (100_000, 1.25e-9),
+    (250_000, 5.0e-10),
+    (1_000_000, 2.0e-10),
+]
+
+protocols = [make_protocol_config("pure")]
+
+print(f"{'nodes':>10} {'delay(s)':>12} {'theory(s)':>12} {'occupancy':>10} {'wall':>8}")
+for num_nodes, beta in CASES:
+    # An AnalyticContactModel is a mobility input like any trace generator,
+    # but it carries only (N, beta, horizon) — no contact list is ever
+    # materialised, which is what makes 10^6 nodes tractable.
+    model = make_analytic_model(
+        num_nodes=num_nodes, beta=beta, horizon=4_000_000.0
+    )
+    t0 = time.perf_counter()
+    result = run_sweep(
+        model,
+        protocols,
+        SweepConfig(
+            loads=(10, 30, 50),
+            replications=12,
+            master_seed=11,
+            sim=SimulationConfig(engine="ode"),
+        ),
+    )
+    wall = time.perf_counter() - t0
+    means = result.protocol_means("Pure epidemic")
+    theory = math.log(num_nodes) / (beta * (num_nodes - 1))
+    print(
+        f"{num_nodes:>10,} {means['delay']:>12.0f} {theory:>12.0f} "
+        f"{means['buffer_occupancy']:>10.3%} {wall:>7.2f}s"
+    )
+
+print(
+    "\nEvery sweep above finishes in well under a second; the DES would need "
+    "days at 10^6\nnodes. The surrogate delay tracks the ln(N)/(beta*(N-1)) "
+    "law because at this scale\nthe stochastic epidemic is indistinguishable "
+    "from its fluid limit."
+)

@@ -19,8 +19,19 @@ theory:
 
 The validation tests in ``tests/analytic`` check the simulator's pure
 epidemic spreading and delay against these curves on homogeneous traces.
+
+Beyond validation, the models are a production backend: the **surrogate
+engine** (:mod:`repro.analytic.surrogate`) runs whole sweep cells on the
+mean-field curves (``engine="ode"`` on a scenario), and the
+**cross-validation gate** (:mod:`repro.analytic.calibration`) anchors each
+extrapolation against small event-driven runs before it is trusted.
 """
 
+from repro.analytic.calibration import (
+    CrossValidationReport,
+    SurrogateAccuracyError,
+    cross_validate_scenario,
+)
 from repro.analytic.epidemic_ode import (
     delivery_cdf,
     direct_mean_delay,
@@ -29,6 +40,14 @@ from repro.analytic.epidemic_ode import (
     mean_delivery_delay,
 )
 from repro.analytic.meeting_rate import estimate_meeting_rate, pairwise_meeting_rates
+from repro.analytic.surrogate import (
+    AnalyticContactModel,
+    UnsupportedProtocolError,
+    holder_curves,
+    make_analytic_model,
+    surrogate_run,
+    transmission_coins,
+)
 
 __all__ = [
     "infected_fraction",
@@ -38,4 +57,13 @@ __all__ = [
     "direct_mean_delay",
     "estimate_meeting_rate",
     "pairwise_meeting_rates",
+    "AnalyticContactModel",
+    "UnsupportedProtocolError",
+    "holder_curves",
+    "make_analytic_model",
+    "surrogate_run",
+    "transmission_coins",
+    "CrossValidationReport",
+    "SurrogateAccuracyError",
+    "cross_validate_scenario",
 ]

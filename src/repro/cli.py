@@ -6,9 +6,13 @@ Subcommands:
 * ``run <exp_id ...>`` — reproduce figures/tables at a chosen scale; prints
   an ASCII plot + value table per figure, optionally exports CSV/JSON.
 * ``run-scenario <file.json>`` — execute a declarative scenario file
-  (see :mod:`repro.scenarios`) and print its metric tables.
+  (see :mod:`repro.scenarios`) and print its metric tables; ``--engine
+  ode`` runs it on the analytic surrogate behind the cross-validation
+  gate.
 * ``trace <kind>`` — generate a mobility trace file (canonical format).
 * ``stats <file>`` — contact statistics of a trace file.
+* ``docs protocols`` — regenerate (or ``--check``) the generated protocol
+  reference in ``docs/protocols.md``.
 
 The global ``--jobs N`` flag (accepted before or after the subcommand)
 fans sweep grids out over N worker processes; results are bit-identical
@@ -30,6 +34,7 @@ from repro.analysis.figures import FigureData
 from repro.analysis.io import write_runs_csv, write_series_csv, write_series_json
 from repro.core.executors import make_executor
 from repro.core.policies import drop_policy_names
+from repro.core.simulation import ENGINES
 from repro.experiments.registry import get_experiment, iter_experiments
 from repro.experiments.runner import SCALES, ExperimentRunner
 from repro.mobility.rwp import ClassicRWP, ClassicRWPConfig, RWPConfig, SubscriberPointRWP
@@ -106,7 +111,27 @@ _SCENARIO_METRICS = (
 )
 
 
+def _gate_lines(report: dict[str, object]) -> list[str]:
+    """Compact rendering of a surrogate cross-validation report dict."""
+    lines = [
+        f"surrogate gate: PASS (reference loads={report['loads']}, "
+        f"replications={report['replications']})"
+    ]
+    pooled = report.get("pooled")
+    for row in pooled if isinstance(pooled, list) else ():
+        err = row["rel_error"]
+        floor = row["noise_floor"]
+        lines.append(
+            f"  {row['protocol']}/{row['metric']}: "
+            + ("err n/a" if err is None else f"err {err:.1%}")
+            + ("" if floor is None else f" (DES noise 2·SEM {floor:.1%})")
+        )
+    return lines
+
+
 def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    from repro.analytic.calibration import SurrogateAccuracyError
+
     spec = ScenarioSpec.load(args.file)
     overrides: dict[str, object] = {}
     if args.drop_policy is not None:
@@ -115,19 +140,37 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         overrides["buffer_capacity"] = args.buffer_capacity
     if args.record_occupancy:
         overrides["record_occupancy"] = True
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.no_surrogate_check:
+        overrides["surrogate_check"] = False
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     label = spec.name or Path(args.file).stem
     t0 = time.perf_counter()
-    result = spec.run(
-        jobs=args.jobs if args.jobs > 1 else None,
-        progress=_progress_printer(args.verbose),
-    )
+    try:
+        result = spec.run(
+            jobs=args.jobs if args.jobs > 1 else None,
+            progress=_progress_printer(args.verbose),
+        )
+    except SurrogateAccuracyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: the surrogate is not trustworthy on this scenario's "
+            "reference grid; run it with the event engine (--engine des), "
+            "raise replications to shrink the DES noise floor, or — to "
+            "proceed unanchored — pass --no-surrogate-check",
+            file=sys.stderr,
+        )
+        return 1
     elapsed = time.perf_counter() - t0
     print(
         f"==== scenario {label}: {len(result)} runs, "
         f"{len(spec.protocols)} protocols, jobs={args.jobs} ({elapsed:.1f}s) ===="
     )
+    if result.surrogate_report is not None:
+        for line in _gate_lines(result.surrogate_report):
+            print(line)
     tables = [
         (title, method.removesuffix("_series"), getattr(result, method)())
         for title, method in _SCENARIO_METRICS
@@ -229,6 +272,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_cli(forward)
 
 
+def _cmd_docs(args: argparse.Namespace) -> int:
+    # tools/ ships alongside src/ in the repo checkout, not in the
+    # installed package — resolve it lazily and fail with guidance.
+    try:
+        from tools.gen_protocol_docs import run_cli as docs_cli
+    except ImportError:
+        print(
+            "error: the docs generator (tools/gen_protocol_docs.py) is not "
+            "importable — run from the repository root (it needs tools/ on "
+            "sys.path)",
+            file=sys.stderr,
+        )
+        return 2
+    forward: list[str] = []
+    if args.check:
+        forward.append("--check")
+    if args.out is not None:
+        forward.extend(["--out", args.out])
+    return docs_cli(forward)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     trace = read_contact_trace(args.file)
     st = compute_trace_stats(trace)
@@ -326,6 +390,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the per-change (time, fill) occupancy series in every "
         "run result (exported as <name>_occupancy.json with --out)",
     )
+    p_scenario.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="override the scenario's engine: des = event simulator, "
+        "ode = analytic mean-field surrogate (cross-validated against a "
+        "small DES reference grid before running)",
+    )
+    p_scenario.add_argument(
+        "--no-surrogate-check",
+        action="store_true",
+        help="skip the surrogate cross-validation gate (engine=ode runs "
+        "unanchored; the report is omitted)",
+    )
     p_scenario.set_defaults(func=_cmd_run_scenario)
 
     p_trace = sub.add_parser("trace", help="generate a mobility trace file")
@@ -351,6 +429,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="contact statistics of a trace file")
     p_stats.add_argument("file")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_docs = sub.add_parser(
+        "docs",
+        help="regenerate or verify generated documentation",
+    )
+    docs_sub = p_docs.add_subparsers(dest="target", required=True)
+    p_docs_protocols = docs_sub.add_parser(
+        "protocols",
+        help="the protocol reference generated from the registry "
+        "(docs/protocols.md)",
+    )
+    p_docs_protocols.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed file is up to date instead of writing "
+        "(exit 1 when stale — the CI freshness gate)",
+    )
+    p_docs_protocols.add_argument(
+        "--out",
+        default=None,
+        help="write to this path instead of docs/protocols.md",
+    )
+    p_docs_protocols.set_defaults(func=_cmd_docs)
 
     p_lint = sub.add_parser(
         "lint",

@@ -117,6 +117,11 @@ class SweepResult:
     """All runs of a sweep, with figure/table aggregation helpers."""
 
     runs: list[RunResult] = field(default_factory=list)
+    #: cross-validation gate report (dict form of
+    #: :class:`repro.analytic.calibration.CrossValidationReport`), attached
+    #: by :meth:`repro.scenarios.spec.ScenarioSpec.run` when the sweep ran
+    #: on the surrogate engine with the gate enabled; None otherwise
+    surrogate_report: dict[str, object] | None = None
 
     def __len__(self) -> int:
         return len(self.runs)

@@ -33,6 +33,10 @@ from repro.des.event import PRIORITY_EARLY
 from repro.des.rng import RngHub
 from repro.mobility.contact import ContactTrace, zero_transfer_mask
 
+#: Sweep-cell execution engines: the event simulator and the mean-field
+#: surrogate (:mod:`repro.analytic.surrogate`).
+ENGINES: tuple[str, ...] = ("des", "ode")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -59,12 +63,18 @@ class SimulationConfig:
             :class:`~repro.core.results.RunResult`). Off by default —
             sweeps normally consume only the distilled scalars and should
             not pay an append per buffer delta.
+        engine: Which engine executes a sweep cell: ``"des"`` (this
+            event-driven simulator) or ``"ode"`` (the mean-field surrogate,
+            :func:`repro.analytic.surrogate.surrogate_run`). The sweep
+            layer dispatches on this; :class:`Simulation` itself always
+            runs event-driven.
     """
 
     buffer_capacity: int | tuple[int, ...] = 10
     bundle_tx_time: float | tuple[float, ...] = 100.0
     drop_policy: str = "reject"
     record_occupancy: bool = False
+    engine: str = "des"
 
     def __post_init__(self) -> None:
         if isinstance(self.buffer_capacity, (list, tuple)):
@@ -91,6 +101,10 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown drop policy {self.drop_policy!r}; "
                 f"available: {', '.join(drop_policy_names())}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; available: {', '.join(ENGINES)}"
             )
 
     # ----------------------------------------------------- per-node accessors

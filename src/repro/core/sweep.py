@@ -72,7 +72,10 @@ def run_single(
     Endpoint draws depend on (master_seed, load, rep) only — not on the
     protocol — so all protocols see identical workloads (common random
     numbers). Protocol-internal randomness (P-Q coins) additionally keys on
-    the protocol name.
+    the protocol name. The endpoint draw is also engine-independent:
+    ``engine="ode"`` cells face the exact same flow sequence as their DES
+    twins, which is what makes the cross-validation residuals
+    (:mod:`repro.analytic.calibration`) pure model error.
     """
     endpoint_rng = np.random.default_rng(
         derive_seed(sweep.master_seed, "workload", load, rep)
@@ -83,6 +86,17 @@ def run_single(
             sweep.master_seed, "run", protocol.protocol_name, load, rep
         ).generate_state(1)[0]
     )
+    # Lazy import: repro.analytic.surrogate imports this module's siblings;
+    # a function-level import keeps the module graph acyclic.
+    from repro.analytic.surrogate import AnalyticContactModel, surrogate_run
+
+    if sweep.sim.engine == "ode":
+        return surrogate_run(trace, protocol, flows, config=sweep.sim, seed=run_seed)
+    if isinstance(trace, AnalyticContactModel):
+        raise ValueError(
+            "an analytic contact model has no contacts for the event-driven "
+            "engine; run this cell with engine='ode'"
+        )
     sim = Simulation(
         trace, protocol, flows, config=sweep.sim, seed=run_seed
     )

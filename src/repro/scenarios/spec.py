@@ -144,6 +144,34 @@ def _register_builtins() -> None:
         cfg = _config_from_params(IntervalScenarioConfig, params)
         return generate_interval_scenario(cfg, seed=seed)
 
+    @register_mobility("poisson")
+    def _poisson(*, seed: int = 0, **params: Any) -> ContactTrace:
+        from repro.mobility.poisson import PoissonContactConfig, generate_poisson_trace
+
+        cfg = _config_from_params(PoissonContactConfig, params)
+        return generate_poisson_trace(cfg, seed=seed)
+
+    @register_mobility("analytic")
+    def _analytic(
+        *,
+        seed: int = 0,
+        num_nodes: int = 0,
+        beta: float = 0.0,
+        horizon: float = 0.0,
+        name: str = "",
+        **extra: Any,
+    ) -> ContactTrace:
+        from repro.analytic.surrogate import make_analytic_model
+
+        del seed  # the model is a rate, not a realisation
+        if extra:
+            raise ValueError(
+                f"unknown analytic parameter(s): {', '.join(sorted(extra))}"
+            )
+        return make_analytic_model(
+            num_nodes=num_nodes, beta=beta, horizon=horizon, name=name
+        )
+
     @register_mobility("trace_file")
     def _trace_file(
         *, seed: int = 0, path: str = "", format: str = "canonical", **extra: Any
@@ -338,6 +366,22 @@ class ScenarioSpec:
             (see :attr:`~repro.core.simulation.SimulationConfig.record_occupancy`).
             Off by default — an append per buffer delta is pure overhead
             for sweeps that only consume the distilled scalars.
+        engine: ``"des"`` (default) runs every cell on the event-driven
+            simulator; ``"ode"`` runs them on the mean-field surrogate
+            (:mod:`repro.analytic.surrogate`), which is what lets a
+            scenario sweep 10^5–10^6-node populations in seconds.
+        surrogate_check: When the engine is ``"ode"``, run the
+            cross-validation gate (:mod:`repro.analytic.calibration`)
+            before the sweep: both engines execute a small reference grid
+            and the scenario is refused if they disagree beyond
+            ``surrogate_tolerance``. On by default — disable only for
+            grids you have already validated.
+        surrogate_tolerance: Per-metric mean relative error the gate
+            tolerates (default 10%).
+        surrogate_reference: Mobility the gate anchors the DES side on.
+            Defaults to the scenario's own mobility; **required** when
+            that mobility is ``analytic`` (a meeting rate has no contacts
+            to simulate).
     """
 
     mobility: MobilitySpec
@@ -350,6 +394,10 @@ class ScenarioSpec:
     bundle_tx_time: float | tuple[float, ...] = 100.0
     drop_policy: str = "reject"
     record_occupancy: bool = False
+    engine: str = "des"
+    surrogate_check: bool = True
+    surrogate_tolerance: float = 0.10
+    surrogate_reference: MobilitySpec | None = None
 
     def __post_init__(self) -> None:
         protocols = tuple(self.protocols)
@@ -363,9 +411,18 @@ class ScenarioSpec:
             bundle_tx_time=self.bundle_tx_time,
             drop_policy=self.drop_policy,
             record_occupancy=self.record_occupancy,
+            engine=self.engine,
         )
         object.__setattr__(self, "buffer_capacity", sim.buffer_capacity)
         object.__setattr__(self, "bundle_tx_time", sim.bundle_tx_time)
+        if not (0.0 < self.surrogate_tolerance <= 1.0):
+            raise ValueError(
+                f"surrogate_tolerance must be in (0, 1], got {self.surrogate_tolerance}"
+            )
+        if self.surrogate_reference is not None and not isinstance(
+            self.surrogate_reference, MobilitySpec
+        ):
+            raise ValueError("surrogate_reference must be a MobilitySpec or None")
 
     # ------------------------------------------------------------- building
 
@@ -402,6 +459,7 @@ class ScenarioSpec:
                 bundle_tx_time=self.bundle_tx_time,
                 drop_policy=self.drop_policy,
                 record_occupancy=self.record_occupancy,
+                engine=self.engine,
             ),
         )
 
@@ -422,6 +480,12 @@ class ScenarioSpec:
                 many worker processes.
             progress: Per-cell progress callback (one line per completed
                 replication, with a ``[done/total]`` counter).
+
+        Raises:
+            repro.analytic.calibration.SurrogateAccuracyError: when the
+                engine is ``"ode"``, the gate is enabled, and the
+                surrogate misses the event simulator beyond
+                ``surrogate_tolerance`` on the reference grid.
         """
         from repro.core.executors import make_executor
         from repro.core.sweep import run_sweep
@@ -430,13 +494,22 @@ class ScenarioSpec:
             raise ValueError("pass either executor or jobs, not both")
         if executor is None:
             executor = make_executor(jobs)
-        return run_sweep(
+        report_data: dict[str, Any] | None = None
+        if self.engine == "ode" and self.surrogate_check:
+            from repro.analytic.calibration import cross_validate_scenario
+
+            report = cross_validate_scenario(self, progress=progress)
+            report.ensure(self.surrogate_tolerance)
+            report_data = report.to_dict()
+        result = run_sweep(
             self.trace_factory(),
             self.build_protocols(),
             self.sweep_config(),
             executor=executor,
             progress=progress,
         )
+        result.surrogate_report = report_data
+        return result
 
     # -------------------------------------------------------- serialisation
 
@@ -444,7 +517,7 @@ class ScenarioSpec:
         def plain(value: Any) -> Any:
             return list(value) if isinstance(value, tuple) else value
 
-        return {
+        out = {
             "name": self.name,
             "seed": self.seed,
             "mobility": self.mobility.to_dict(),
@@ -455,7 +528,13 @@ class ScenarioSpec:
             "bundle_tx_time": plain(self.bundle_tx_time),
             "drop_policy": self.drop_policy,
             "record_occupancy": self.record_occupancy,
+            "engine": self.engine,
+            "surrogate_check": self.surrogate_check,
+            "surrogate_tolerance": self.surrogate_tolerance,
         }
+        if self.surrogate_reference is not None:
+            out["surrogate_reference"] = self.surrogate_reference.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> ScenarioSpec:
@@ -473,6 +552,10 @@ class ScenarioSpec:
                 "bundle_tx_time",
                 "drop_policy",
                 "record_occupancy",
+                "engine",
+                "surrogate_check",
+                "surrogate_tolerance",
+                "surrogate_reference",
             ],
         )
         if "mobility" not in data:
@@ -488,6 +571,10 @@ class ScenarioSpec:
         }
         if "workload" in data:
             kwargs["workload"] = WorkloadSpec.from_dict(data["workload"])
+        if data.get("surrogate_reference") is not None:
+            kwargs["surrogate_reference"] = MobilitySpec.from_dict(
+                data["surrogate_reference"]
+            )
         for key in (
             "name",
             "seed",
@@ -496,6 +583,9 @@ class ScenarioSpec:
             "bundle_tx_time",
             "drop_policy",
             "record_occupancy",
+            "engine",
+            "surrogate_check",
+            "surrogate_tolerance",
         ):
             if key in data:
                 value = data[key]

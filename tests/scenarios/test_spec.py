@@ -244,6 +244,69 @@ class TestScenarioSpec:
         assert result.loads() == [2, 4]
 
 
+class TestSurrogateSpecKeys:
+    """The hybrid-engine keys: engine, surrogate_check/tolerance/reference."""
+
+    def ode_scenario(self, **overrides) -> ScenarioSpec:
+        kwargs = dict(
+            engine="ode",
+            surrogate_tolerance=0.2,
+            surrogate_reference=MobilitySpec(
+                "poisson",
+                {"num_nodes": 12, "beta": 5e-4, "horizon": 20_000.0, "duration": 40.0},
+            ),
+            mobility=MobilitySpec(
+                "analytic", {"num_nodes": 5000, "beta": 1e-7, "horizon": 1e6}
+            ),
+            protocols=(ProtocolSpec("pure"),),
+        )
+        kwargs.update(overrides)
+        return tiny_scenario(**kwargs)
+
+    def test_engine_keys_round_trip(self):
+        spec = self.ode_scenario(surrogate_check=False)
+        data = json.loads(spec.to_json())
+        assert data["engine"] == "ode"
+        assert data["surrogate_check"] is False
+        assert data["surrogate_tolerance"] == 0.2
+        assert data["surrogate_reference"]["kind"] == "poisson"
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults(self):
+        spec = tiny_scenario()
+        assert spec.engine == "des"
+        assert spec.surrogate_check is True
+        assert spec.surrogate_tolerance == 0.10
+        assert spec.surrogate_reference is None
+        assert "surrogate_reference" not in spec.to_dict()
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            tiny_scenario(engine="quantum")
+
+    def test_bad_tolerance_rejected(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="surrogate_tolerance"):
+                tiny_scenario(surrogate_tolerance=bad)
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ValueError, match="surrogate_reference"):
+            tiny_scenario(surrogate_reference={"kind": "poisson"})
+
+    def test_sweep_config_carries_engine(self):
+        assert self.ode_scenario().sweep_config().sim.engine == "ode"
+
+    def test_ode_run_skips_gate_when_disabled(self):
+        result = self.ode_scenario(
+            surrogate_check=False,
+            workload=WorkloadSpec(loads=(2,), replications=2),
+        ).run()
+        assert len(result) == 2
+        assert result.surrogate_report is None
+        for run in result.runs:
+            assert run.success
+
+
 class TestBufferContentionSpec:
     """Heterogeneous capacities and drop policies as scenario inputs."""
 

@@ -229,3 +229,133 @@ class TestBufferContentionCli:
         spec = ScenarioSpec.load(example)
         assert spec.drop_policy == "drop-oldest"
         assert len(spec.buffer_capacity) == 12
+
+
+ODE_SCENARIO = {
+    "name": "tiny-ode",
+    "seed": 11,
+    "mobility": {
+        "kind": "poisson",
+        "params": {
+            "num_nodes": 12,
+            "beta": 5e-4,
+            "horizon": 20000.0,
+            "duration": 40.0,
+        },
+    },
+    "protocols": [{"name": "pure"}],
+    "workload": {"loads": [2, 4], "replications": 2},
+    "buffer_capacity": 64,
+    "bundle_tx_time": 1.0,
+    "engine": "ode",
+    "surrogate_tolerance": 0.5,
+}
+
+
+class TestHybridEngineCli:
+    """Acceptance: run-scenario --engine ode with the cross-validation gate."""
+
+    @pytest.fixture
+    def ode_file(self, tmp_path):
+        path = tmp_path / "ode.json"
+        path.write_text(json.dumps(ODE_SCENARIO))
+        return path
+
+    def test_parser_accepts_engine_flags(self):
+        args = build_parser().parse_args(["run-scenario", "s.json", "--engine", "ode"])
+        assert args.engine == "ode"
+        args = build_parser().parse_args(
+            ["run-scenario", "s.json", "--no-surrogate-check"]
+        )
+        assert args.no_surrogate_check
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-scenario", "s.json", "--engine", "warp"])
+
+    def test_runs_ode_scenario_with_gate(self, ode_file, capsys):
+        assert main(["run-scenario", str(ode_file)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario tiny-ode: 4 runs" in out
+        assert "surrogate gate: PASS" in out
+        assert "DES noise" in out
+        assert "Delivery ratio" in out
+
+    def test_no_surrogate_check_skips_gate(self, ode_file, capsys):
+        assert main(["run-scenario", str(ode_file), "--no-surrogate-check"]) == 0
+        out = capsys.readouterr().out
+        assert "4 runs" in out
+        assert "surrogate gate" not in out
+
+    def test_engine_override_forces_des(self, ode_file, capsys):
+        assert main(["run-scenario", str(ode_file), "--engine", "des"]) == 0
+        out = capsys.readouterr().out
+        assert "4 runs" in out
+        assert "surrogate gate" not in out  # the gate only guards ode runs
+
+    def test_gate_failure_reports_hint_and_exits_nonzero(
+        self, ode_file, capsys, monkeypatch
+    ):
+        import repro.analytic.calibration as calibration
+        from repro.analytic.calibration import (
+            CrossValidationReport,
+            PooledResidual,
+        )
+
+        bad = CrossValidationReport(
+            residuals=[],
+            pooled=[
+                PooledResidual(
+                    protocol="Pure epidemic",
+                    metric="delay",
+                    des=100.0,
+                    surrogate=180.0,
+                    rel_error=0.8,
+                    noise_floor=0.02,
+                )
+            ],
+            loads=(2, 4),
+            replications=12,
+            reference={"kind": "poisson"},
+        )
+        monkeypatch.setattr(
+            calibration, "cross_validate_scenario", lambda spec, progress=None: bad
+        )
+        assert main(["run-scenario", str(ode_file)]) == 1
+        err = capsys.readouterr().err
+        assert "refusing to extrapolate" in err
+        assert "--engine des" in err
+
+    def test_repo_surrogate_smoke_scenario_loads(self):
+        from pathlib import Path
+
+        from repro.scenarios import ScenarioSpec
+
+        base = Path(__file__).parent.parent / "examples" / "scenarios"
+        smoke = ScenarioSpec.load(base / "surrogate_smoke.json")
+        assert smoke.engine == "ode" and smoke.surrogate_check
+        scale = ScenarioSpec.load(base / "analytic_scale.json")
+        assert scale.mobility.kind == "analytic"
+        assert scale.surrogate_reference is not None
+
+
+class TestDocsCli:
+    def test_docs_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["docs"])
+
+    def test_generated_protocol_reference_is_fresh(self, capsys):
+        """CI invariant: docs/protocols.md matches the registry."""
+        assert main(["docs", "protocols", "--check"]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_writes_to_custom_path(self, tmp_path, capsys):
+        out = tmp_path / "protocols.md"
+        assert main(["docs", "protocols", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "GENERATED FILE" in text
+        assert "## `pure`" in text
+
+    def test_stale_file_fails_check(self, tmp_path, capsys):
+        out = tmp_path / "protocols.md"
+        out.write_text("# stale\n")
+        assert main(["docs", "protocols", "--check", "--out", str(out)]) == 1
+        assert "stale" in capsys.readouterr().out

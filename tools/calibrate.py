@@ -34,11 +34,19 @@ from repro import (
     CampusTraceConfig,
     CampusTraceGenerator,
     RWPConfig,
+    SimulationConfig,
     SubscriberPointRWP,
     SweepConfig,
+    SweepResult,
     compute_trace_stats,
     make_protocol_config,
     run_sweep,
+)
+from repro.analytic.calibration import pool_sweeps
+from repro.analytic.surrogate import (
+    UnsupportedProtocolError,
+    resolve_meeting_rate,
+    transmission_coins,
 )
 
 PROTOS = [
@@ -111,8 +119,53 @@ def evaluate(
             "duration_median": st.durations.median,
         },
         "sweep_wall_s": round(elapsed, 2),
+        "calibration": surrogate_residuals(trace, res),
         "rows": rows,
     }
+
+
+def surrogate_residuals(trace, des: SweepResult) -> dict[str, object]:  # type: ignore[no-untyped-def]
+    """Analytic-surrogate calibration block for one candidate config.
+
+    Reports the meeting rate β̂ the surrogate would calibrate from this
+    trace and, for the surrogate-supported subset of ``PROTOS``, the
+    per-(protocol, metric) pooled residuals against the DES sweep just
+    run — so a calibration report states how far the mean-field model is
+    from this substrate, not only what the DES measured.
+    """
+    supported = []
+    for proto in PROTOS:
+        try:
+            transmission_coins(proto)
+        except UnsupportedProtocolError:
+            continue
+        supported.append(proto)
+    block: dict[str, object] = {
+        "supported_protocols": [p.label for p in supported],
+        "beta_estimate": None,
+        "residuals": [],
+    }
+    try:
+        beta = resolve_meeting_rate(trace, SimulationConfig())
+    except ValueError:
+        return block  # no contact can carry a bundle — nothing to calibrate
+    block["beta_estimate"] = beta
+    if not supported:
+        return block
+    ode = run_sweep(
+        trace,
+        supported,
+        SweepConfig(
+            loads=(5, 30, 50),
+            replications=6,
+            master_seed=7,
+            sim=SimulationConfig(engine="ode"),
+        ),
+    )
+    labels = {p.label for p in supported}
+    des_subset = SweepResult(runs=[r for r in des.runs if r.protocol_label in labels])
+    block["residuals"] = [r.to_dict() for r in pool_sweeps(des_subset, ode)]
+    return block
 
 
 def campus() -> list[dict[str, object]]:

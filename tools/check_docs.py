@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the documentation suite.
+
+Walks every markdown file it is given (default: README.md and docs/*.md),
+extracts inline links, and verifies that
+
+* relative file links resolve to an existing file in the repository, and
+* fragment links (``#section`` or ``file.md#section``) match a heading in
+  the target file under GitHub's slugification rules.
+
+External ``http(s)``/``mailto`` links are skipped — CI must not depend on
+the network. Exits 1 listing every broken link.
+
+Usage:
+    python tools/check_docs.py                 # README.md + docs/*.md
+    python tools/check_docs.py docs/foo.md     # explicit file list
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line.
+
+    Lowercase, markup stripped, spaces to hyphens, punctuation dropped.
+    Good enough for ASCII docs; duplicate-heading ``-1`` suffixes are not
+    modelled (the checker treats any duplicate slug as present).
+    """
+    text = re.sub(r"[`*_]", "", heading.strip())
+    # [text](target) renders as just the text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All heading anchors defined by ``path`` (code fences excluded)."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(2)))
+    return slugs
+
+
+def iter_links(path: Path) -> list[str]:
+    """Inline link targets in ``path``, code fences excluded."""
+    targets: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(m.group(1) for m in _LINK_RE.finditer(line))
+    return targets
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:  # outside the repo (tests, ad-hoc invocations)
+        return str(path)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file."""
+    problems: list[str] = []
+    for target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if base and not dest.exists():
+            problems.append(f"{_display(path)}: missing file {target!r}")
+            continue
+        if fragment:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into source files are line refs, not slugs
+            if fragment.lower() not in heading_slugs(dest):
+                problems.append(
+                    f"{_display(path)}: no heading for anchor {target!r}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    files = args.files or [
+        REPO_ROOT / "README.md",
+        *sorted((REPO_ROOT / "docs").glob("*.md")),
+    ]
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Generate ``docs/protocols.md`` from the protocol registry.
+
+The protocol reference is rendered from the single source of truth — the
+registered configuration classes, their docstrings and their dataclass
+fields — so it cannot drift from the code. CI regenerates it in check
+mode and fails when the committed file is stale.
+
+Usage:
+    PYTHONPATH=src python tools/gen_protocol_docs.py            # rewrite
+    PYTHONPATH=src python tools/gen_protocol_docs.py --check    # verify
+    PYTHONPATH=src python -m repro docs protocols [--check]     # same
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import inspect
+from pathlib import Path
+
+from repro.core.protocols.registry import iter_registry
+
+#: Default output location, relative to the repository root.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "docs" / "protocols.md"
+
+_HEADER = """\
+# Protocol reference
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with: PYTHONPATH=src python -m repro docs protocols
+     (CI fails when this file is stale; see the docs job.) -->
+
+Every protocol the simulator knows, rendered from the registry
+(`repro.core.protocols.registry.iter_registry()`). Each section is one
+registered configuration class: its registry name (what scenario files
+and `make_protocol_config` use), its construction parameters, and its
+behaviour as documented on the class itself.
+
+Protocols marked *surrogate-supported* also run on the analytic engine
+(`engine="ode"`); see `docs/architecture.md` for the hybrid-fidelity
+backend.
+"""
+
+#: Registry names the analytic surrogate models (kept in sync by test).
+SURROGATE_SUPPORTED = ("pure", "pq")
+
+
+def _default_repr(field: dataclasses.Field) -> str:  # type: ignore[type-arg]
+    if field.default is not dataclasses.MISSING:
+        return f"`{field.default!r}`"
+    if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return f"`{field.default_factory()!r}`"
+    return "required"
+
+
+def _type_repr(field: dataclasses.Field) -> str:  # type: ignore[type-arg]
+    t = field.type
+    text = t if isinstance(t, str) else getattr(t, "__name__", str(t))
+    return f"`{text}`"
+
+
+def render_protocol_docs() -> str:
+    """The full markdown document, deterministically ordered by name."""
+    parts = [_HEADER]
+    for name, cls in iter_registry():
+        title = f"## `{name}` — {cls.__name__}"
+        if name in SURROGATE_SUPPORTED:
+            title += " *(surrogate-supported)*"
+        parts.append(title + "\n")
+        doc = inspect.cleandoc(cls.__doc__ or "Undocumented.")
+        parts.append(doc + "\n")
+        if dataclasses.is_dataclass(cls):
+            rows = [
+                f"| `{f.name}` | {_type_repr(f)} | {_default_repr(f)} |"
+                for f in dataclasses.fields(cls)
+                if f.init
+            ]
+            if rows:
+                parts.append(
+                    "\n".join(
+                        ["| parameter | type | default |", "| --- | --- | --- |"]
+                        + rows
+                    )
+                    + "\n"
+                )
+    return "\n".join(parts)
+
+
+def run_cli(argv: list[str] | None = None) -> int:
+    """CLI body shared by direct invocation and ``repro docs protocols``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed file matches the registry (exit 1 if stale)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=f"output path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out) if args.out is not None else DEFAULT_OUT
+    rendered = render_protocol_docs()
+    if args.check:
+        current = out.read_text(encoding="utf-8") if out.exists() else None
+        if current != rendered:
+            print(
+                f"{out} is stale — regenerate with "
+                "`PYTHONPATH=src python -m repro docs protocols`"
+            )
+            return 1
+        print(f"{out} is up to date")
+        return 0
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(rendered, encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_cli())
