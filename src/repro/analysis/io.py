@@ -2,7 +2,10 @@
 
 All experiment artefacts are written as plain CSV (stdlib ``csv``) or JSON
 so they can be post-processed anywhere; ``read_series_csv`` round-trips the
-series format for downstream tooling and tests.
+series format for downstream tooling and tests. Every writer goes through
+:func:`repro.ioutil.atomic_write`, so an export either appears complete
+under its target name or not at all — a killed campaign never leaves a
+truncated CSV that downstream tooling would happily half-read.
 """
 
 from __future__ import annotations
@@ -11,8 +14,10 @@ import csv
 import json
 import math
 from pathlib import Path
+from typing import TextIO
 
 from repro.core.results import RunResult, Series, SeriesPoint, SweepResult
+from repro.ioutil import atomic_write
 
 
 def write_runs_csv(sweep: SweepResult, path: str | Path) -> None:
@@ -25,15 +30,17 @@ def write_runs_csv(sweep: SweepResult, path: str | Path) -> None:
         for key in row:
             if key not in fieldnames:
                 fieldnames.append(key)
-    with open(path, "w", encoding="utf-8", newline="") as fh:
+    def _write(fh: TextIO) -> None:
         writer = csv.DictWriter(fh, fieldnames=fieldnames, restval="")
         writer.writeheader()
         writer.writerows(rows)
 
+    atomic_write(path, _write, newline="")
+
 
 def write_series_csv(series: list[Series], path: str | Path) -> None:
     """Long-format curve export: series, load, value, n."""
-    with open(path, "w", encoding="utf-8", newline="") as fh:
+    def _write(fh: TextIO) -> None:
         writer = csv.writer(fh)
         writer.writerow(["series", "load", "value", "n"])
         for s in series:
@@ -41,6 +48,8 @@ def write_series_csv(series: list[Series], path: str | Path) -> None:
                 writer.writerow(
                     [s.label, p.load, "" if math.isnan(p.value) else repr(p.value), p.n]
                 )
+
+    atomic_write(path, _write, newline="")
 
 
 def read_series_csv(path: str | Path) -> list[Series]:
@@ -92,8 +101,7 @@ def write_series_json(
             for s in series
         ],
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2)
+    atomic_write(path, lambda fh: json.dump(doc, fh, indent=2))
 
 
 def summarize_runs(sweep: SweepResult) -> dict[str, dict[str, float]]:

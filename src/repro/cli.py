@@ -32,7 +32,7 @@ from pathlib import Path
 from repro.analysis.ascii_plot import render_plot, render_series_table
 from repro.analysis.figures import FigureData
 from repro.analysis.io import write_runs_csv, write_series_csv, write_series_json
-from repro.core.executors import make_executor
+from repro.core.executors import ON_ERROR_MODES, make_executor
 from repro.core.policies import drop_policy_names
 from repro.core.simulation import ENGINES
 from repro.experiments.registry import get_experiment, iter_experiments
@@ -131,7 +131,12 @@ def _gate_lines(report: dict[str, object]) -> list[str]:
 
 def _cmd_run_scenario(args: argparse.Namespace) -> int:
     from repro.analytic.calibration import SurrogateAccuracyError
+    from repro.core.checkpoint import CheckpointError
+    from repro.core.executors import CellExecutionError
 
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
     spec = ScenarioSpec.load(args.file)
     overrides: dict[str, object] = {}
     if args.drop_policy is not None:
@@ -144,6 +149,12 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         overrides["engine"] = args.engine
     if args.no_surrogate_check:
         overrides["surrogate_check"] = False
+    if args.retries is not None:
+        overrides["retries"] = args.retries
+    if args.cell_timeout is not None:
+        overrides["cell_timeout"] = args.cell_timeout
+    if args.on_error is not None:
+        overrides["on_error"] = args.on_error
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     label = spec.name or Path(args.file).stem
@@ -152,6 +163,8 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         result = spec.run(
             jobs=args.jobs if args.jobs > 1 else None,
             progress=_progress_printer(args.verbose),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
     except SurrogateAccuracyError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -163,6 +176,19 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except CellExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: completed cells are preserved when --checkpoint DIR is "
+            "set — re-run with --resume to continue; add --retries N for "
+            "transient worker deaths, or --on-error keep-going to record "
+            "failures and finish the rest of the grid",
+            file=sys.stderr,
+        )
+        return 1
     elapsed = time.perf_counter() - t0
     print(
         f"==== scenario {label}: {len(result)} runs, "
@@ -171,6 +197,21 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
     if result.surrogate_report is not None:
         for line in _gate_lines(result.surrogate_report):
             print(line)
+    if result.failures:
+        total_cells = len(result.runs) + len(result.failures)
+        print(
+            f"warning: {len(result.failures)}/{total_cells} cells failed "
+            "(on_error=keep-going); tables below aggregate the surviving "
+            "runs, with all-failed loads shown as gaps",
+            file=sys.stderr,
+        )
+        for failure in result.failures:
+            print(
+                f"  FAILED {failure.protocol_label}: load={failure.load} "
+                f"rep={failure.rep} [{failure.kind}] after "
+                f"{failure.attempts} attempt(s): {failure.message}",
+                file=sys.stderr,
+            )
     tables = [
         (title, method.removesuffix("_series"), getattr(result, method)())
         for title, method in _SCENARIO_METRICS
@@ -184,7 +225,15 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         # free-form scenario names must not escape out_dir or break paths
         stem = re.sub(r"[^\w.-]+", "_", label) or "scenario"
-        write_runs_csv(result, out_dir / f"{stem}_runs.csv")
+        if result.runs:
+            write_runs_csv(result, out_dir / f"{stem}_runs.csv")
+        if result.failures:
+            from repro.ioutil import atomic_write_text
+
+            payload = json.dumps(
+                [dataclasses.asdict(f) for f in result.failures], indent=2
+            )
+            atomic_write_text(out_dir / f"{stem}_failures.json", payload + "\n")
         if spec.record_occupancy:
             payload = [
                 {
@@ -308,6 +357,20 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _retries_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _timeout_seconds(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
 def _capacity_arg(text: str) -> int | tuple[int, ...]:
     """Parse ``--buffer-capacity``: one int, or a per-node comma list."""
     try:
@@ -403,6 +466,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the surrogate cross-validation gate (engine=ode runs "
         "unanchored; the report is omitted)",
+    )
+    p_scenario.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="campaign directory for crash-safe per-cell journaling: each "
+        "completed cell is durably appended, so a killed campaign can be "
+        "continued with --resume instead of re-running from scratch",
+    )
+    p_scenario.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the campaign journaled in --checkpoint DIR: "
+        "journaled cells are restored bit-identically from disk and only "
+        "the missing cells execute",
+    )
+    p_scenario.add_argument(
+        "--retries",
+        type=_retries_count,
+        default=None,
+        metavar="N",
+        help="override the scenario's retry budget for cells interrupted "
+        "by a transient worker-process death",
+    )
+    p_scenario.add_argument(
+        "--cell-timeout",
+        type=_timeout_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="override the scenario's per-cell wall-clock budget; a hung "
+        "cell is declared failed and its worker reclaimed (parallel only)",
+    )
+    p_scenario.add_argument(
+        "--on-error",
+        choices=ON_ERROR_MODES,
+        default=None,
+        help="override the scenario's failure mode: abort = stop at the "
+        "first permanently failed cell; keep-going = record it and finish "
+        "the rest of the grid",
     )
     p_scenario.set_defaults(func=_cmd_run_scenario)
 

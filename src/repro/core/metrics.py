@@ -40,12 +40,13 @@ from repro.core.bundle import BundleId
 class TimeWeightedAccumulator:
     """Integrates a piecewise-constant value over time."""
 
-    __slots__ = ("_value", "_since", "_integral")
+    __slots__ = ("_value", "_since", "_integral", "_start")
 
     def __init__(self, value: float = 0.0, start: float = 0.0) -> None:
         self._value = value
         self._since = start
         self._integral = 0.0
+        self._start = start
 
     @property
     def value(self) -> float:
@@ -70,9 +71,16 @@ class TimeWeightedAccumulator:
             raise ValueError(f"time went backwards: {self._since} -> {now}")
         return self._integral + self._value * (now - self._since)
 
-    def mean(self, now: float, start: float = 0.0) -> float:
-        """Time-average over [start, now]."""
-        span = now - start
+    def mean(self, now: float) -> float:
+        """Time-average over the accumulator's lifetime [start, now].
+
+        The window always begins at the ``start`` the accumulator was
+        constructed with: the integral only covers that span, so dividing
+        by any other origin would silently dilute (or inflate) the mean.
+        An earlier revision accepted an arbitrary ``start`` argument here
+        and did exactly that.
+        """
+        span = now - self._start
         if span <= 0:
             return self._value
         return self.integral(now) / span

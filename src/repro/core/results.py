@@ -11,9 +11,14 @@ paper's plotting conventions:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.executors import CellFailure
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,45 @@ class RunResult:
             row[f"drops_{policy}"] = count
         return row
 
+    # ------------------------------------------------- lossless round-trip
+
+    def to_dict(self) -> dict[str, object]:
+        """Full-fidelity JSON-safe form (unlike :meth:`as_row`, lossless).
+
+        Every field round-trips exactly through JSON — floats serialise
+        via their shortest round-trip repr, so
+        ``RunResult.from_dict(json.loads(json.dumps(r.to_dict())))``
+        reconstructs a result that compares (and reprs) bit-identical to
+        ``r``. This is the checkpoint journal's record format.
+        """
+        out = dataclasses.asdict(self)
+        if self.occupancy_series is not None:
+            out["occupancy_series"] = [list(p) for p in self.occupancy_series]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> RunResult:
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: on missing or unknown fields.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(f"unknown RunResult field(s): {', '.join(unknown)}")
+        required = names - {"peak_occupancy", "drops", "occupancy_series"}
+        missing = sorted(required - set(data))
+        if missing:
+            raise ValueError(f"missing RunResult field(s): {', '.join(missing)}")
+        kwargs = dict(data)
+        series = kwargs.get("occupancy_series")
+        if series is not None:
+            kwargs["occupancy_series"] = tuple(
+                (float(t), float(v)) for t, v in series  # type: ignore[union-attr]
+            )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
 
 @dataclass
 class SeriesPoint:
@@ -122,12 +166,24 @@ class SweepResult:
     #: by :meth:`repro.scenarios.spec.ScenarioSpec.run` when the sweep ran
     #: on the surrogate engine with the gate enabled; None otherwise
     surrogate_report: dict[str, object] | None = None
+    #: structured records of grid cells that failed under
+    #: ``on_error="keep-going"`` (see
+    #: :class:`repro.core.executors.CellFailure`); empty for campaigns
+    #: that completed cleanly. Aggregation methods operate on ``runs``
+    #: only — a load whose runs all failed yields a NaN series point, so
+    #: partial grids stay renderable with the gaps visible.
+    failures: list["CellFailure"] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.runs)
 
     def extend(self, more: Iterable[RunResult]) -> None:
         self.runs.extend(more)
+
+    @property
+    def complete(self) -> bool:
+        """True when no grid cell failed."""
+        return not self.failures
 
     def protocols(self) -> list[str]:
         """Protocol labels present, in first-appearance order."""

@@ -15,7 +15,17 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from repro.core.executors import Cell, Executor, SerialExecutor
+from pathlib import Path
+
+from repro.core.checkpoint import CheckpointJournal, cell_key
+from repro.core.executors import (
+    Cell,
+    CellFailure,
+    CellOutcome,
+    Executor,
+    FailurePolicy,
+    SerialExecutor,
+)
 from repro.core.protocols.registry import ProtocolConfig
 from repro.core.results import RunResult, SweepResult
 from repro.core.simulation import Simulation, SimulationConfig
@@ -133,6 +143,32 @@ def build_cells(
     ]
 
 
+def campaign_fingerprint(
+    cells: Sequence[Cell], sweep: SweepConfig
+) -> dict[str, object]:
+    """JSON-safe identity of a sweep campaign, for the checkpoint manifest.
+
+    Two invocations that would produce different grids — different seed,
+    loads, replications, protocol set, traces, or engine — must produce
+    different fingerprints, so a ``--resume`` against the wrong campaign
+    directory is refused instead of silently mixing results.
+    """
+    protocols: dict[str, None] = {}
+    traces: dict[str, None] = {}
+    for cell in cells:
+        protocols.setdefault(cell.protocol.label, None)
+        traces.setdefault(cell.trace.name, None)
+    return {
+        "master_seed": sweep.master_seed,
+        "loads": [int(x) for x in sweep.loads],
+        "replications": sweep.replications,
+        "shared_trace": sweep.shared_trace,
+        "engine": sweep.sim.engine,
+        "protocols": list(protocols),
+        "traces": list(traces),
+    }
+
+
 def run_sweep(
     trace_factory: TraceFactory | ContactTrace,
     protocols: Sequence[ProtocolConfig],
@@ -140,6 +176,8 @@ def run_sweep(
     *,
     executor: Executor | None = None,
     progress: Callable[[str], None] | None = None,
+    policy: FailurePolicy | None = None,
+    checkpoint: CheckpointJournal | str | Path | None = None,
 ) -> SweepResult:
     """Run the full (protocol × load × replication) grid.
 
@@ -156,15 +194,52 @@ def run_sweep(
         progress: Optional callback receiving one ``[done/total]`` line per
             completed (protocol, load, replication) cell. With a parallel
             executor, lines arrive in completion order.
+        policy: Failure policy (retries / per-cell timeout / abort vs
+            keep-going); defaults to
+            :class:`~repro.core.executors.FailurePolicy`'s abort-on-first-
+            failure behaviour.
+        checkpoint: Campaign directory (or a prepared
+            :class:`~repro.core.checkpoint.CheckpointJournal`) for
+            crash-safe per-cell journaling. Cells already journaled are
+            *not* re-executed: their results are restored from disk, which
+            is exact because every cell's randomness derives from its own
+            coordinates. Pass a ``CheckpointJournal(dir, resume=True)`` to
+            continue a killed campaign.
 
     Returns:
-        A :class:`SweepResult` with one :class:`RunResult` per grid cell,
-        in (protocol, load, replication) order regardless of backend.
+        A :class:`SweepResult` with one :class:`RunResult` per completed
+        grid cell, in (protocol, load, replication) order regardless of
+        backend, and — under ``on_error="keep-going"`` — one structured
+        :class:`~repro.core.executors.CellFailure` per failed cell in
+        :attr:`~repro.core.results.SweepResult.failures`.
     """
     sweep = sweep or SweepConfig()
     if not protocols:
         raise ValueError("at least one protocol is required")
     cells = build_cells(trace_factory, protocols, sweep)
+
+    outcomes: list[CellOutcome | None] = [None] * len(cells)
+    pending = list(range(len(cells)))
+    journal: CheckpointJournal | None = None
+    if checkpoint is not None:
+        journal = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointJournal)
+            else CheckpointJournal(checkpoint)
+        )
+        journal.begin(campaign_fingerprint(cells, sweep))
+        pending = []
+        for i, cell in enumerate(cells):
+            cached = journal.get(cell_key(cell))
+            if cached is None:
+                pending.append(i)
+            else:
+                outcomes[i] = cached
+        if progress is not None and len(pending) < len(cells):
+            progress(
+                f"resume: restored {len(cells) - len(pending)} journaled "
+                f"cell(s) from {journal.directory}"
+            )
 
     hook = None
     if progress is not None:
@@ -176,7 +251,35 @@ def run_sweep(
                 f"load={cell.load} rep={cell.rep} done"
             )
 
+    on_result = None
+    if journal is not None:
+        bound = journal
+
+        def on_result(idx: int, cell: Cell, outcome: CellOutcome) -> None:
+            # failures are deliberately not journaled: a resumed campaign
+            # re-attempts them instead of replaying the failure
+            if isinstance(outcome, RunResult):
+                bound.record(cell_key(cell), outcome)
+
     backend = executor or SerialExecutor()
+    try:
+        executed = backend.run(
+            [cells[i] for i in pending],
+            progress=hook,
+            policy=policy,
+            on_result=on_result,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    for slot, outcome in zip(pending, executed, strict=True):
+        outcomes[slot] = outcome
+
     result = SweepResult()
-    result.runs.extend(backend.run(cells, progress=hook))
+    for outcome in outcomes:
+        if isinstance(outcome, CellFailure):
+            result.failures.append(outcome)
+        else:
+            assert outcome is not None, "executor left a cell without outcome"
+            result.runs.append(outcome)
     return result

@@ -215,15 +215,34 @@ class ContactTrace:
         i = bisect.bisect_left(self._starts, t)
         return self.contacts[i] if i < len(self.contacts) else None
 
-    def window(self, t0: float, t1: float) -> ContactTrace:
-        """Contacts fully contained in ``[t0, t1)``, re-based to start at 0."""
+    def window(self, t0: float, t1: float, *, clip: bool = False) -> ContactTrace:
+        """Sub-trace over ``[t0, t1)``, re-based to start at 0.
+
+        Args:
+            t0: Window start (inclusive).
+            t1: Window end (exclusive); must exceed ``t0``.
+            clip: How to treat contacts that straddle a window edge.
+                False (default): drop them — only contacts fully contained
+                in the window survive, so a long encounter spanning the cut
+                vanishes entirely. True: truncate them to the overlapping
+                portion instead, which conserves in-window contact time
+                (the windows of a partition sum to the original trace's
+                total contact time).
+        """
         if not t1 > t0:
             raise ValueError("window requires t1 > t0")
-        sub = [
-            Contact(c.start - t0, c.end - t0, c.a, c.b)
-            for c in self.contacts
-            if c.start >= t0 and c.end <= t1
-        ]
+        if clip:
+            sub = [
+                Contact(max(c.start, t0) - t0, min(c.end, t1) - t0, c.a, c.b)
+                for c in self.contacts
+                if min(c.end, t1) > max(c.start, t0)
+            ]
+        else:
+            sub = [
+                Contact(c.start - t0, c.end - t0, c.a, c.b)
+                for c in self.contacts
+                if c.start >= t0 and c.end <= t1
+            ]
         return ContactTrace(
             sub, self.num_nodes, horizon=t1 - t0, name=f"{self.name}[{t0},{t1})"
         )

@@ -25,6 +25,7 @@ from pathlib import Path
 from collections.abc import Iterable
 from typing import TextIO
 
+from repro.ioutil import atomic_write
 from repro.mobility.contact import Contact, ContactTrace
 
 _MAGIC = "# repro contact trace v1"
@@ -48,28 +49,28 @@ def _open_text(source: str | Path | TextIO) -> tuple[TextIO, bool]:
 
 
 def write_contact_trace(trace: ContactTrace, dest: str | Path | TextIO) -> None:
-    """Write a trace in the canonical format."""
-    stream: TextIO
-    close = False
+    """Write a trace in the canonical format.
+
+    A path destination is written atomically (temp file + rename), so a
+    crash mid-write never leaves a truncated trace under the target name.
+    """
     if isinstance(dest, (str, Path)):
-        stream = open(dest, "w", encoding="utf-8")
-        close = True
-    else:
-        stream = dest
-    try:
-        stream.write(_MAGIC + "\n")
-        if trace.name:
-            stream.write(f"# name: {trace.name}\n")
-        stream.write(f"nodes {trace.num_nodes}\n")
-        # float() normalises NumPy scalars that mobility generators may
-        # leave in contact fields (np.float64 repr is not parseable here).
-        stream.write(f"horizon {float(trace.horizon)!r}\n")
-        stream.write("# a b start end\n")
-        for c in trace.contacts:
-            stream.write(f"{int(c.a)} {int(c.b)} {float(c.start)!r} {float(c.end)!r}\n")
-    finally:
-        if close:
-            stream.close()
+        atomic_write(dest, lambda stream: _write_canonical(trace, stream))
+        return
+    _write_canonical(trace, dest)
+
+
+def _write_canonical(trace: ContactTrace, stream: TextIO) -> None:
+    stream.write(_MAGIC + "\n")
+    if trace.name:
+        stream.write(f"# name: {trace.name}\n")
+    stream.write(f"nodes {trace.num_nodes}\n")
+    # float() normalises NumPy scalars that mobility generators may
+    # leave in contact fields (np.float64 repr is not parseable here).
+    stream.write(f"horizon {float(trace.horizon)!r}\n")
+    stream.write("# a b start end\n")
+    for c in trace.contacts:
+        stream.write(f"{int(c.a)} {int(c.b)} {float(c.start)!r} {float(c.end)!r}\n")
 
 
 def read_contact_trace(source: str | Path | TextIO) -> ContactTrace:
@@ -219,21 +220,21 @@ def trace_from_string(text: str) -> ContactTrace:
 def write_haggle_trace(
     trace: ContactTrace, dest: str | Path | TextIO, *, one_based_ids: bool = True
 ) -> None:
-    """Write a trace as Haggle-style ``id1 id2 start end`` rows."""
-    stream: TextIO
-    close = False
-    if isinstance(dest, (str, Path)):
-        stream = open(dest, "w", encoding="utf-8")
-        close = True
-    else:
-        stream = dest
+    """Write a trace as Haggle-style ``id1 id2 start end`` rows.
+
+    A path destination is written atomically, like
+    :func:`write_contact_trace`.
+    """
     off = 1 if one_based_ids else 0
-    try:
+
+    def _write(stream: TextIO) -> None:
         for c in trace.contacts:
             stream.write(f"{c.a + off} {c.b + off} {c.start!r} {c.end!r}\n")
-    finally:
-        if close:
-            stream.close()
+
+    if isinstance(dest, (str, Path)):
+        atomic_write(dest, _write)
+        return
+    _write(dest)
 
 
 def iter_contact_rows(trace: ContactTrace) -> Iterable[tuple[int, int, float, float]]:

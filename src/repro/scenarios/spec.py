@@ -31,7 +31,7 @@ from pathlib import Path
 from collections.abc import Callable, Mapping, Sequence
 from typing import Any, TextIO
 
-from repro.core.executors import Executor
+from repro.core.executors import Executor, FailurePolicy
 from repro.core.protocols.registry import ProtocolConfig, make_protocol_config
 from repro.core.results import SweepResult
 from repro.core.simulation import SimulationConfig
@@ -382,6 +382,19 @@ class ScenarioSpec:
             Defaults to the scenario's own mobility; **required** when
             that mobility is ``analytic`` (a meeting rate has no contacts
             to simulate).
+        retries: Extra attempts for cells interrupted by a transient
+            worker-process death (see
+            :class:`~repro.core.executors.FailurePolicy`).
+        retry_backoff: Base seconds of the exponential pause between
+            worker-pool rebuilds after such a death.
+        cell_timeout: Wall-clock seconds one cell may run before being
+            declared hung and failed (parallel execution only); None
+            disables the watchdog.
+        on_error: ``"abort"`` (default) stops the campaign at the first
+            permanently failed cell; ``"keep-going"`` records the
+            failure in :attr:`SweepResult.failures
+            <repro.core.results.SweepResult.failures>` and completes the
+            rest of the grid.
     """
 
     mobility: MobilitySpec
@@ -398,6 +411,10 @@ class ScenarioSpec:
     surrogate_check: bool = True
     surrogate_tolerance: float = 0.10
     surrogate_reference: MobilitySpec | None = None
+    retries: int = 0
+    retry_backoff: float = 0.5
+    cell_timeout: float | None = None
+    on_error: str = "abort"
 
     def __post_init__(self) -> None:
         protocols = tuple(self.protocols)
@@ -423,6 +440,9 @@ class ScenarioSpec:
             self.surrogate_reference, MobilitySpec
         ):
             raise ValueError("surrogate_reference must be a MobilitySpec or None")
+        # Fail fast on a bad failure policy (FailurePolicy validates
+        # retries >= 0, backoff >= 0, positive timeout, on_error mode).
+        self.failure_policy()
 
     # ------------------------------------------------------------- building
 
@@ -463,12 +483,23 @@ class ScenarioSpec:
             ),
         )
 
+    def failure_policy(self) -> FailurePolicy:
+        """The equivalent :class:`~repro.core.executors.FailurePolicy`."""
+        return FailurePolicy(
+            retries=self.retries,
+            backoff=self.retry_backoff,
+            cell_timeout=self.cell_timeout,
+            on_error=self.on_error,
+        )
+
     def run(
         self,
         *,
         executor: Executor | None = None,
         jobs: int | None = None,
         progress: Callable[[str], None] | None = None,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
     ) -> SweepResult:
         """Execute the scenario's full sweep grid.
 
@@ -480,18 +511,34 @@ class ScenarioSpec:
                 many worker processes.
             progress: Per-cell progress callback (one line per completed
                 replication, with a ``[done/total]`` counter).
+            checkpoint: Campaign directory for crash-safe per-cell
+                journaling (see :mod:`repro.core.checkpoint`); as each
+                cell completes its result is durably appended, and a
+                killed campaign can be continued with ``resume=True``.
+            resume: Continue the campaign journaled in ``checkpoint``:
+                journaled cells are restored from disk (bit-identical —
+                cell randomness derives from cell coordinates alone) and
+                only the missing cells execute.
 
         Raises:
             repro.analytic.calibration.SurrogateAccuracyError: when the
                 engine is ``"ode"``, the gate is enabled, and the
                 surrogate misses the event simulator beyond
                 ``surrogate_tolerance`` on the reference grid.
+            repro.core.checkpoint.CheckpointError: when ``checkpoint``
+                holds a different campaign, is corrupt, or already holds
+                results and ``resume`` is False.
+            repro.core.executors.CellExecutionError: when a cell fails
+                permanently and ``on_error`` is ``"abort"``.
         """
+        from repro.core.checkpoint import CheckpointJournal
         from repro.core.executors import make_executor
         from repro.core.sweep import run_sweep
 
         if executor is not None and jobs is not None:
             raise ValueError("pass either executor or jobs, not both")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint directory")
         if executor is None:
             executor = make_executor(jobs)
         report_data: dict[str, Any] | None = None
@@ -501,12 +548,19 @@ class ScenarioSpec:
             report = cross_validate_scenario(self, progress=progress)
             report.ensure(self.surrogate_tolerance)
             report_data = report.to_dict()
+        journal = (
+            CheckpointJournal(checkpoint, resume=resume)
+            if checkpoint is not None
+            else None
+        )
         result = run_sweep(
             self.trace_factory(),
             self.build_protocols(),
             self.sweep_config(),
             executor=executor,
             progress=progress,
+            policy=self.failure_policy(),
+            checkpoint=journal,
         )
         result.surrogate_report = report_data
         return result
@@ -531,6 +585,10 @@ class ScenarioSpec:
             "engine": self.engine,
             "surrogate_check": self.surrogate_check,
             "surrogate_tolerance": self.surrogate_tolerance,
+            "retries": self.retries,
+            "retry_backoff": self.retry_backoff,
+            "cell_timeout": self.cell_timeout,
+            "on_error": self.on_error,
         }
         if self.surrogate_reference is not None:
             out["surrogate_reference"] = self.surrogate_reference.to_dict()
@@ -556,6 +614,10 @@ class ScenarioSpec:
                 "surrogate_check",
                 "surrogate_tolerance",
                 "surrogate_reference",
+                "retries",
+                "retry_backoff",
+                "cell_timeout",
+                "on_error",
             ],
         )
         if "mobility" not in data:
@@ -586,6 +648,10 @@ class ScenarioSpec:
             "engine",
             "surrogate_check",
             "surrogate_tolerance",
+            "retries",
+            "retry_backoff",
+            "cell_timeout",
+            "on_error",
         ):
             if key in data:
                 value = data[key]
@@ -612,10 +678,12 @@ class ScenarioSpec:
         return cls.from_dict(data)
 
     def save(self, dest: str | Path | TextIO) -> None:
-        """Write the scenario as JSON to a path or open stream."""
+        """Write the scenario as JSON to a path (atomically) or stream."""
         text = self.to_json() + "\n"
         if isinstance(dest, (str, Path)):
-            Path(dest).write_text(text, encoding="utf-8")
+            from repro.ioutil import atomic_write_text
+
+            atomic_write_text(dest, text)
         else:
             dest.write(text)
 
@@ -635,6 +703,14 @@ def run_scenario(
     executor: Executor | None = None,
     jobs: int | None = None,
     progress: Callable[[str], None] | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Functional alias for :meth:`ScenarioSpec.run`."""
-    return spec.run(executor=executor, jobs=jobs, progress=progress)
+    return spec.run(
+        executor=executor,
+        jobs=jobs,
+        progress=progress,
+        checkpoint=checkpoint,
+        resume=resume,
+    )

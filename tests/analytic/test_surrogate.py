@@ -74,12 +74,17 @@ class TestAnalyticContactModel:
             make_analytic_model(**params)
 
     def test_des_engine_rejects_it(self):
-        with pytest.raises(ValueError, match="analytic"):
+        # the executor wraps the in-cell ValueError, naming the cell and
+        # chaining the original misconfiguration message
+        from repro.core.executors import CellExecutionError
+
+        with pytest.raises(CellExecutionError, match="analytic") as err:
             run_sweep(
                 paper_model(),
                 [make_protocol_config("pure")],
                 SweepConfig(loads=(5,), replications=1, master_seed=1),
             )
+        assert isinstance(err.value.__cause__, ValueError)
 
 
 class TestHolderCurves:

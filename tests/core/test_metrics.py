@@ -27,7 +27,16 @@ class TestTimeWeightedAccumulator:
 
     def test_mean_with_start_offset(self):
         acc = TimeWeightedAccumulator(value=2.0, start=10.0)
-        assert acc.mean(20.0, start=10.0) == pytest.approx(2.0)
+        assert acc.mean(20.0) == pytest.approx(2.0)
+
+    def test_mean_uses_birth_time_not_zero(self):
+        # regression: a constant value must average to itself no matter
+        # when the accumulator was born; the old mean() divided the
+        # lifetime integral by `now - 0` and reported 3.0 here
+        acc = TimeWeightedAccumulator(value=6.0, start=5.0)
+        assert acc.mean(10.0) == pytest.approx(6.0)
+        acc.update(6.0, 8.0)  # no-op update must not change the mean
+        assert acc.mean(10.0) == pytest.approx(6.0)
 
     def test_mean_of_zero_span_returns_value(self):
         acc = TimeWeightedAccumulator(value=7.0)

@@ -123,6 +123,48 @@ class TestContactTrace:
         with pytest.raises(ValueError):
             t.window(10.0, 10.0)
 
+    def test_window_default_drops_straddlers(self):
+        t = self._trace()
+        # (30, 45) straddles the cut at 40: dropped entirely by default
+        assert len(t.window(25.0, 40.0)) == 0
+
+    def test_window_clip_truncates_straddlers(self):
+        t = self._trace()
+        w = t.window(25.0, 40.0, clip=True)
+        assert [(c.start, c.end) for c in w.contacts] == [(5.0, 15.0)]
+        # a contact spanning the whole window clips to the full window
+        span = ContactTrace.from_tuples([(0.0, 100.0, 0, 1)], 2)
+        inner = span.window(40.0, 60.0, clip=True)
+        assert [(c.start, c.end) for c in inner.contacts] == [(0.0, 20.0)]
+        # edge-touching contacts carry no in-window time and are excluded
+        assert len(span.window(100.0, 110.0, clip=True)) == 0
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=90.0),
+                st.floats(min_value=0.5, max_value=30.0),
+                st.sampled_from([(0, 1), (1, 2), (0, 2)]),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        cut=st.floats(min_value=1.0, max_value=119.0),
+    )
+    def test_clip_windows_conserve_contact_time(self, rows, cut):
+        """A clip=True partition conserves total contact time exactly-ish.
+
+        Splitting [0, horizon) at an arbitrary cut and summing the two
+        windows' contact time must reproduce the original trace's total —
+        the property the default drop semantics cannot offer.
+        """
+        contacts = [(s, s + d, a, b) for (s, d, (a, b)) in rows]
+        t = ContactTrace.from_tuples(contacts, 3, horizon=125.0)
+        left = t.window(0.0, cut, clip=True)
+        right = t.window(cut, 125.0, clip=True)
+        total = left.total_contact_time() + right.total_contact_time()
+        assert total == pytest.approx(t.total_contact_time(), abs=1e-9)
+
     def test_merged_with(self):
         t = self._trace()
         other = ContactTrace.from_tuples([(50.0, 60.0, 1, 2)], 3)

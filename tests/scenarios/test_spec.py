@@ -363,3 +363,68 @@ class TestBufferContentionSpec:
         spec = ScenarioSpec.from_dict(data)
         assert spec.drop_policy == "reject"
         assert spec.run().runs == tiny_scenario().run().runs
+
+
+class TestFailurePolicyKeys:
+    """The fault-tolerance keys: retries, retry_backoff, cell_timeout, on_error."""
+
+    def test_round_trip(self):
+        spec = tiny_scenario(
+            retries=2, retry_backoff=0.1, cell_timeout=30.0, on_error="keep-going"
+        )
+        data = json.loads(spec.to_json())
+        assert data["retries"] == 2
+        assert data["retry_backoff"] == 0.1
+        assert data["cell_timeout"] == 30.0
+        assert data["on_error"] == "keep-going"
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults(self):
+        spec = tiny_scenario()
+        assert spec.retries == 0
+        assert spec.retry_backoff == 0.5
+        assert spec.cell_timeout is None
+        assert spec.on_error == "abort"
+
+    def test_failure_policy_mirrors_spec(self):
+        policy = tiny_scenario(
+            retries=3, retry_backoff=0.2, cell_timeout=5.0, on_error="keep-going"
+        ).failure_policy()
+        assert policy.retries == 3
+        assert policy.backoff == 0.2
+        assert policy.cell_timeout == 5.0
+        assert policy.on_error == "keep-going"
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"retries": -1}, "retries"),
+            ({"retry_backoff": -0.5}, "backoff"),
+            ({"cell_timeout": 0.0}, "cell_timeout"),
+            ({"on_error": "shrug"}, "on_error"),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            tiny_scenario(**kwargs)
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            tiny_scenario().run(resume=True)
+
+    def test_run_with_checkpoint_then_resume(self, tmp_path):
+        camp = tmp_path / "camp"
+        spec = tiny_scenario()
+        first = spec.run(checkpoint=camp)
+        assert (camp / "journal.jsonl").exists()
+        resumed = spec.run(checkpoint=camp, resume=True)
+        assert repr(resumed.runs) == repr(first.runs)  # restored, bit-identical
+
+    def test_rerun_without_resume_refused(self, tmp_path):
+        from repro.core.checkpoint import CheckpointError
+
+        camp = tmp_path / "camp"
+        spec = tiny_scenario()
+        spec.run(checkpoint=camp)
+        with pytest.raises(CheckpointError, match="--resume"):
+            spec.run(checkpoint=camp)

@@ -359,3 +359,94 @@ class TestDocsCli:
         out.write_text("# stale\n")
         assert main(["docs", "protocols", "--check", "--out", str(out)]) == 1
         assert "stale" in capsys.readouterr().out
+
+
+class TestFaultToleranceCli:
+    """Acceptance: run-scenario grows checkpoint/resume and policy flags."""
+
+    @pytest.fixture
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(TINY_SCENARIO))
+        return path
+
+    def test_parser_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            ["run-scenario", "s.json", "--checkpoint", "camp", "--resume",
+             "--retries", "2", "--cell-timeout", "30", "--on-error", "keep-going"]
+        )
+        assert args.checkpoint == "camp"
+        assert args.resume is True
+        assert args.retries == 2
+        assert args.cell_timeout == 30.0
+        assert args.on_error == "keep-going"
+        defaults = build_parser().parse_args(["run-scenario", "s.json"])
+        assert defaults.checkpoint is None and defaults.resume is False
+        assert defaults.retries is None and defaults.cell_timeout is None
+        assert defaults.on_error is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run-scenario", "s.json", "--retries", "-1"],
+            ["run-scenario", "s.json", "--cell-timeout", "0"],
+            ["run-scenario", "s.json", "--on-error", "shrug"],
+        ],
+    )
+    def test_bad_fault_flags_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_resume_requires_checkpoint(self, scenario_file, capsys):
+        assert main(["run-scenario", str(scenario_file), "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_round_trip(
+        self, scenario_file, tmp_path, capsys
+    ):
+        camp = tmp_path / "camp"
+        assert main(
+            ["run-scenario", str(scenario_file), "--checkpoint", str(camp)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert (camp / "journal.jsonl").exists()
+        assert (camp / "manifest.json").exists()
+
+        # re-running the finished campaign without --resume is refused...
+        assert main(
+            ["run-scenario", str(scenario_file), "--checkpoint", str(camp)]
+        ) == 1
+        assert "--resume" in capsys.readouterr().err
+
+        # ...and --resume restores every cell from the journal
+        assert main(
+            ["run-scenario", str(scenario_file), "--checkpoint", str(camp),
+             "--resume"]
+        ) == 0
+        resumed = capsys.readouterr().out
+        assert "scenario tiny: 8 runs" in resumed
+
+        def tables(text):
+            return text[text.index("--") :]  # strip the timing banner line
+
+        assert tables(resumed) == tables(first)
+
+    def test_resume_progress_line_in_verbose(self, scenario_file, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        assert main(
+            ["run-scenario", str(scenario_file), "--checkpoint", str(camp)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["run-scenario", str(scenario_file), "--checkpoint", str(camp),
+             "--resume", "--verbose"]
+        ) == 0
+        assert "resume: restored 8 journaled cell(s)" in capsys.readouterr().err
+
+    def test_policy_overrides_round_trip_into_spec(self, scenario_file, capsys):
+        # keep-going + retries are accepted end-to-end on a healthy scenario
+        assert main(
+            ["run-scenario", str(scenario_file), "--retries", "1",
+             "--on-error", "keep-going"]
+        ) == 0
+        assert "scenario tiny: 8 runs" in capsys.readouterr().out

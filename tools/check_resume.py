@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Kill/resume equivalence gate for checkpointed sweep campaigns.
+
+The acceptance property of the checkpoint journal
+(:mod:`repro.core.checkpoint`): a campaign killed mid-flight and resumed
+with ``--resume`` must export **byte-identical** artefacts to an
+uninterrupted run. This harness drives the real CLI in subprocesses:
+
+1. start ``run-scenario --checkpoint CAMP --jobs 2`` on the smoke
+   scenario, poll the journal, and SIGKILL the process once a few cells
+   are durably recorded (no graceful shutdown — a real crash);
+2. re-run the same command with ``--resume --out``, which restores the
+   journaled cells and executes only the missing ones;
+3. run an uninterrupted reference with ``--out`` into a separate
+   directory and byte-compare the exported runs CSV.
+
+If the campaign finishes before the kill lands, the check degrades
+gracefully: the resume pass then restores *every* cell from the journal,
+which exercises the same round-trip property.
+
+Usage:
+    PYTHONPATH=src python tools/check_resume.py
+    PYTHONPATH=src python tools/check_resume.py --scenario path.json --kill-after 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SCENARIO = REPO_ROOT / "examples" / "scenarios" / "resume_smoke.json"
+
+
+def _cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def _journal_records(campaign: Path) -> int:
+    journal = campaign / "journal.jsonl"
+    if not journal.exists():
+        return 0
+    # only complete (newline-terminated) records count as durable
+    return journal.read_bytes().count(b"\n")
+
+
+def _kill_mid_flight(
+    scenario: Path, campaign: Path, *, kill_after: int, timeout: float
+) -> bool:
+    """Start a checkpointed campaign and SIGKILL it once the journal holds
+    ``kill_after`` records. Returns True if the kill landed mid-flight."""
+    proc = subprocess.Popen(
+        _cli(
+            "run-scenario",
+            str(scenario),
+            "--checkpoint",
+            str(campaign),
+            "--jobs",
+            "2",
+        ),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                print(
+                    f"note: campaign finished (rc={proc.returncode}) before "
+                    f"the kill; resume will restore all cells from the journal"
+                )
+                return False
+            if _journal_records(campaign) >= kill_after:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30)
+                print(
+                    f"killed campaign with {_journal_records(campaign)} "
+                    f"journaled cell(s)"
+                )
+                return True
+            time.sleep(0.05)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    raise SystemExit(f"campaign did not journal {kill_after} cells in {timeout}s")
+
+
+def _run_checked(argv: list[str]) -> None:
+    result = subprocess.run(argv, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        raise SystemExit(f"command failed (rc={result.returncode}): {argv}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        type=Path,
+        default=DEFAULT_SCENARIO,
+        help="scenario JSON to run (default: the resume smoke scenario)",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=4,
+        metavar="N",
+        help="SIGKILL the campaign once N cells are journaled (default 4)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait for the journal to reach --kill-after",
+    )
+    args = parser.parse_args(argv)
+
+    spec = json.loads(args.scenario.read_text(encoding="utf-8"))
+    stem = spec.get("name", args.scenario.stem)
+
+    with tempfile.TemporaryDirectory(prefix="check_resume.") as tmp:
+        work = Path(tmp)
+        campaign = work / "campaign"
+        resumed_out = work / "resumed"
+        reference_out = work / "reference"
+
+        _kill_mid_flight(
+            args.scenario,
+            campaign,
+            kill_after=args.kill_after,
+            timeout=args.timeout,
+        )
+
+        _run_checked(
+            _cli(
+                "run-scenario",
+                str(args.scenario),
+                "--checkpoint",
+                str(campaign),
+                "--resume",
+                "--jobs",
+                "2",
+                "--out",
+                str(resumed_out),
+            )
+        )
+        _run_checked(
+            _cli(
+                "run-scenario",
+                str(args.scenario),
+                "--out",
+                str(reference_out),
+            )
+        )
+
+        mismatches = []
+        compared = 0
+        for ref_file in sorted(reference_out.iterdir()):
+            res_file = resumed_out / ref_file.name
+            if not res_file.exists():
+                mismatches.append(f"{ref_file.name}: missing from resumed run")
+                continue
+            compared += 1
+            if ref_file.read_bytes() != res_file.read_bytes():
+                mismatches.append(f"{ref_file.name}: differs from reference")
+        if not compared:
+            mismatches.append(f"no artefacts exported for scenario {stem!r}")
+        if mismatches:
+            print("RESUME EQUIVALENCE FAILED:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"resume equivalence OK: {compared} artefact(s) byte-identical "
+            "after kill + --resume"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
