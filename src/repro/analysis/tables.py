@@ -5,6 +5,9 @@
   the bound-check reference for our own configurations).
 * **Table II** — per-protocol whole-sweep means of delivery rate, buffer
   occupancy level and duplication rate, for both mobility models.
+* **Resilience table** — churn-rate × state-loss grid of delivery ratio
+  and re-infection counts per protocol (the disruption-tolerance study;
+  see :mod:`repro.experiments.resilience`).
 * **Tradeoff table** — capacity × drop-policy grid of delivery ratio,
   mean/peak occupancy and drop counts per protocol (the
   occupancy/delivery tradeoff study; see
@@ -19,6 +22,7 @@ from typing import TYPE_CHECKING
 from repro.core.results import SweepResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.resilience import ResilienceStudy
     from repro.experiments.tradeoff import TradeoffStudy
 
 #: Table I of the paper: parameters used in studies [10]-[13].
@@ -203,6 +207,106 @@ def render_tradeoff_table(study: TradeoffStudy) -> str:
                 f"{cell_text(by_key[(cap, pol, proto)]):>{col_w}}" for pol in policies
             ]
             lines.append(f"{cap:<{cap_w}} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One (churn rate, state-loss mode, protocol) cell of the study."""
+
+    churn_rate: str  #: rate label ("0" for the fault-free baseline)
+    state_loss: str
+    protocol_label: str
+    delivery_ratio: float  #: sweep mean
+    delay: float  #: sweep mean over successful runs (NaN if none)
+    reinfections: float  #: mean post-wipe re-infections per run
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "churn_rate": self.churn_rate,
+            "state_loss": self.state_loss,
+            "protocol": self.protocol_label,
+            "delivery_pct": 100 * self.delivery_ratio,
+            "delay": self.delay,
+            "reinfections": self.reinfections,
+        }
+
+
+def build_resilience_table(study: ResilienceStudy) -> list[ResilienceRow]:
+    """Flatten a resilience study into (rate, mode, protocol) rows.
+
+    Row order is the study's grid order: churn rate, then state-loss
+    mode, then protocol — the fault-free baseline rows come first when
+    the study puts 0.0 first in its rate axis.
+    """
+    rows: list[ResilienceRow] = []
+    for rate_label in study.rate_labels:
+        for mode in study.modes:
+            sweep = study.sweep(rate_label, mode)
+            for label in sweep.protocols():
+                means = sweep.protocol_means(label)
+                runs = sweep.filter(protocol_label=label)
+                reinfections = sum(
+                    r.churn.get("reinfections", 0.0) for r in runs
+                ) / len(runs)
+                rows.append(
+                    ResilienceRow(
+                        churn_rate=rate_label,
+                        state_loss=mode,
+                        protocol_label=label,
+                        delivery_ratio=means["delivery_ratio"],
+                        delay=means["delay"],
+                        reinfections=reinfections,
+                    )
+                )
+    return rows
+
+
+def render_resilience_table(study: ResilienceStudy) -> str:
+    """The resilience study as aligned text, one block per protocol.
+
+    Each block is a churn-rate × state-loss matrix of ``delivery%``
+    cells (mean post-wipe re-infections appended when any occurred), so
+    the cost of losing state on reboot reads across one row.
+    """
+    rows = build_resilience_table(study)
+    if not rows:
+        raise ValueError("no rows to render")
+    modes = study.modes
+    rate_labels = study.rate_labels
+    by_key = {(r.churn_rate, r.state_loss, r.protocol_label): r for r in rows}
+    protocols: list[str] = []
+    for r in rows:
+        if r.protocol_label not in protocols:
+            protocols.append(r.protocol_label)
+
+    def cell_text(r: ResilienceRow) -> str:
+        text = f"{100 * r.delivery_ratio:.1f}"
+        if r.reinfections:
+            text += f" r={r.reinfections:.1f}"
+        return text
+
+    rate_w = max(len("churn rate"), max(len(label) for label in rate_labels))
+    col_w = max(len(m) for m in modes)
+    col_w = max(col_w, max(len(cell_text(r)) for r in rows))
+    lines = [
+        "Resilience Table — delivery under churn rate x state-loss mode "
+        "(delivery%, sweep means; r= mean re-infections after wipe)",
+    ]
+    for proto in protocols:
+        lines.append("")
+        lines.append(f"Protocol: {proto}")
+        header = f"{'churn rate':<{rate_w}} | " + " | ".join(
+            f"{m:>{col_w}}" for m in modes
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for rate in rate_labels:
+            cells = [
+                f"{cell_text(by_key[(rate, mode, proto)]):>{col_w}}"
+                for mode in modes
+            ]
+            lines.append(f"{rate:<{rate_w}} | " + " | ".join(cells))
     return "\n".join(lines)
 
 

@@ -478,6 +478,12 @@ def surrogate_run(
     config = config or SimulationConfig()
     n = trace.num_nodes
     config.validate_population(n)
+    if config.active_faults is not None:
+        raise ValueError(
+            "fault injection (FaultSpec) is unsupported by the surrogate: "
+            "the mean-field model has no node identity to crash or link to "
+            'sever — run faulted cells with engine="des"'
+        )
     if len(flows) != 1:
         raise ValueError(
             f"the surrogate models the paper's single-flow workload; got {len(flows)} flows"

@@ -37,6 +37,7 @@ from repro.core.policies import drop_policy_names
 from repro.core.simulation import ENGINES
 from repro.experiments.registry import get_experiment, iter_experiments
 from repro.experiments.runner import SCALES, ExperimentRunner
+from repro.faults import STATE_LOSS_MODES, FaultSpec
 from repro.mobility.rwp import ClassicRWP, ClassicRWPConfig, RWPConfig, SubscriberPointRWP
 from repro.mobility.stats import compute_trace_stats
 from repro.mobility.trajectory import CONTACT_ENGINES
@@ -155,8 +156,28 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         overrides["cell_timeout"] = args.cell_timeout
     if args.on_error is not None:
         overrides["on_error"] = args.on_error
+    fault_overrides: dict[str, object] = {}
+    if args.churn_rate is not None:
+        fault_overrides["churn_rate"] = args.churn_rate
+    if args.mean_downtime is not None:
+        fault_overrides["mean_downtime"] = args.mean_downtime
+    if args.link_loss is not None:
+        fault_overrides["contact_drop_prob"] = args.link_loss
+    if args.state_loss is not None:
+        fault_overrides["state_loss"] = args.state_loss
+    if fault_overrides:
+        base_faults = spec.faults or FaultSpec()
+        try:
+            overrides["faults"] = dataclasses.replace(base_faults, **fault_overrides)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if overrides:
-        spec = dataclasses.replace(spec, **overrides)
+        try:
+            spec = dataclasses.replace(spec, **overrides)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     label = spec.name or Path(args.file).stem
     t0 = time.perf_counter()
     try:
@@ -371,6 +392,20 @@ def _timeout_seconds(text: str) -> float:
     return value
 
 
+def _rate_arg(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _probability_arg(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError("must be a probability in [0, 1]")
+    return value
+
+
 def _capacity_arg(text: str) -> int | tuple[int, ...]:
     """Parse ``--buffer-capacity``: one int, or a per-node comma list."""
     try:
@@ -505,6 +540,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's failure mode: abort = stop at the "
         "first permanently failed cell; keep-going = record it and finish "
         "the rest of the grid",
+    )
+    p_scenario.add_argument(
+        "--churn-rate",
+        type=_rate_arg,
+        default=None,
+        metavar="RATE",
+        help="override the fault model's node crash intensity (crashes per "
+        "node per second of up-time; requires a positive mean downtime)",
+    )
+    p_scenario.add_argument(
+        "--mean-downtime",
+        type=_rate_arg,
+        default=None,
+        metavar="SECONDS",
+        help="override the fault model's mean repair time after a crash",
+    )
+    p_scenario.add_argument(
+        "--link-loss",
+        type=_probability_arg,
+        default=None,
+        metavar="PROB",
+        help="override the fault model's per-contact drop probability",
+    )
+    p_scenario.add_argument(
+        "--state-loss",
+        choices=STATE_LOSS_MODES,
+        default=None,
+        help="override what a rebooting node forgets: none = full state "
+        "survives, buffer = stored copies are lost, knowledge = delivery "
+        "knowledge (i-lists / anti-packet tables) is lost, all = both",
     )
     p_scenario.set_defaults(func=_cmd_run_scenario)
 

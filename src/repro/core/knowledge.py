@@ -114,6 +114,16 @@ class KnowledgeStore:
             self._invalidate()
         return fresh
 
+    def reset(self) -> None:
+        """Forget everything (reboot state loss — see :mod:`repro.faults`).
+
+        The epoch bumps unconditionally, so cached control payloads and
+        per-pair exchange memos built against the pre-wipe state can never
+        be replayed as current.
+        """
+        self._known.clear()
+        self._invalidate()
+
 
 class CumulativeKnowledgeStore:
     """Per-flow cumulative-acknowledgment tables behind a knowledge epoch.
@@ -152,6 +162,16 @@ class CumulativeKnowledgeStore:
         self.epoch += 1
         self.message = None
         return True
+
+    def reset(self) -> None:
+        """Forget every table (reboot state loss — see :mod:`repro.faults`).
+
+        Bumps the epoch unconditionally so cached payloads and per-pair
+        exchange memos cannot survive the wipe.
+        """
+        self.tables.clear()
+        self.epoch += 1
+        self.message = None
 
 
 def exchange_control(sim: Simulation, node_a: Node, node_b: Node, now: float) -> None:

@@ -120,6 +120,7 @@ class RemovalCounters:
     expired: int = 0
     immunized: int = 0
     ec_aged_out: int = 0
+    crashed: int = 0
     other: int = 0
 
     def add(self, reason: str) -> None:
@@ -131,7 +132,40 @@ class RemovalCounters:
 
     @property
     def total(self) -> int:
-        return self.evicted + self.expired + self.immunized + self.ec_aged_out + self.other
+        return (
+            self.evicted
+            + self.expired
+            + self.immunized
+            + self.ec_aged_out
+            + self.crashed
+            + self.other
+        )
+
+
+@dataclass
+class ChurnCounters:
+    """Disruption-model event counts (see :mod:`repro.faults`).
+
+    All zero on unfaulted runs; the fields quantify how much of the
+    contact schedule the fault environment destroyed.
+    """
+
+    #: node crash events (up → down transitions)
+    crashes: int = 0
+    #: node recovery events (down → up transitions)
+    recoveries: int = 0
+    #: contacts skipped because an endpoint was down at contact start
+    missed_contacts: int = 0
+    #: contacts erased outright by the per-contact drop probability
+    dropped_contacts: int = 0
+    #: in-flight transfers truncated by a severed link or endpoint crash
+    #: (the slot is charged but no copy arrives)
+    interrupted_transfers: int = 0
+    #: transfers lost to the i.i.d. per-bundle failure probability
+    failed_transfers: int = 0
+    #: copies re-accepted for a bundle the node had been told was
+    #: delivered before a reboot wiped that knowledge
+    reinfections: int = 0
 
 
 class _CopyTrack:
@@ -209,6 +243,10 @@ class MetricsCollector:
         self._copies: dict[BundleId, _CopyTrack] = {}
         self.signaling = SignalingCounters()
         self.removals = RemovalCounters()
+        self.churn = ChurnCounters()
+        #: nodes currently down, integrated over time (node-seconds of
+        #: downtime); stays flat at zero on unfaulted runs
+        self._down_nodes = TimeWeightedAccumulator()
         self.bundle_transmissions = 0
         self.wasted_slots = 0
         self.deliveries: dict[BundleId, float] = {}
@@ -322,6 +360,26 @@ class MetricsCollector:
         if len(self.deliveries) < offered:
             return None
         return max(self.deliveries.values())
+
+    # ----------------------------------------------------------------- churn
+
+    def on_node_down(self, now: float) -> None:
+        """A node crashed at ``now``."""
+        self.churn.crashes += 1
+        self._down_nodes.add(1.0, now)
+
+    def on_node_up(self, now: float) -> None:
+        """A node recovered at ``now``."""
+        self.churn.recoveries += 1
+        self._down_nodes.add(-1.0, now)
+
+    def downtime(self, now: float) -> float:
+        """Total node-seconds of downtime in [0, now]."""
+        return self._down_nodes.integral(now)
+
+    def mean_nodes_down(self, now: float) -> float:
+        """Time-averaged number of simultaneously-down nodes in [0, now]."""
+        return self._down_nodes.mean(now)
 
     # ------------------------------------------------------------- signaling
 

@@ -73,6 +73,17 @@ class AntiPacketProtocol(Protocol):
         self._sync_table_storage()
         return len(fresh)
 
+    def on_knowledge_wiped(self, now: float) -> frozenset[BundleId]:
+        """Reboot amnesia: drop the i-list (and its stored-table footprint).
+
+        The store's reset bumps the knowledge epoch, so cached payloads and
+        per-pair exchange memos built pre-wipe cannot be replayed.
+        """
+        forgotten = self.knowledge.snapshot
+        self.knowledge.reset()
+        self._sync_table_storage()
+        return forgotten
+
     # ---------------------------------------------------------- control plane
 
     def control_payload(self, now: float) -> ControlMessage:

@@ -233,6 +233,19 @@ class Protocol:
         """True if this node knows ``bid`` already reached its destination."""
         return False
 
+    def on_knowledge_wiped(self, now: float) -> frozenset[BundleId]:
+        """Reboot state loss: forget all delivery knowledge (see
+        :mod:`repro.faults`).
+
+        Returns the set of bundle ids the node *knew were delivered* before
+        the wipe — the simulation uses it to count re-infections (copies of
+        those bundles re-accepted after the reboot). Protocols without
+        control-plane state have nothing to forget. Not a control hook:
+        overriding it does not affect ``exchanges_control`` /
+        ``encounter_inert`` / ``epoch_gated_control``.
+        """
+        return frozenset()
+
     # ------------------------------------------------------------- send side
 
     def should_offer(self, sb: StoredBundle, peer: Node, now: float) -> bool:

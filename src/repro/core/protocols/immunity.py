@@ -106,6 +106,19 @@ class CumulativeImmunityEpidemic(Protocol):
             self.sim.remove_copy(self.node, bid, reason="immunized")
         return True
 
+    def on_knowledge_wiped(self, now: float) -> frozenset[BundleId]:
+        """Reboot amnesia: drop every cumulative table.
+
+        ``_delivered_seqs`` is destination-side delivery history mirroring
+        ``node.delivered``, which reboots never erase (delivered stays
+        delivered) — so it survives. Re-infection accounting returns empty:
+        a cumulative table covers seq *ranges*, not individual ids, so the
+        per-id re-infection counter does not apply to this protocol.
+        """
+        self.knowledge.reset()
+        self.sim.set_control_storage(self.node, 0.0)
+        return frozenset()
+
     # ---------------------------------------------------------- control plane
 
     def control_payload(self, now: float) -> ControlMessage:

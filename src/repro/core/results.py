@@ -49,6 +49,11 @@ class RunResult:
     #: buffer-pressure evictions by drop-policy name (``reject`` never
     #: evicts; EC's intrinsic rule reports under ``max-ec``)
     drops: dict[str, int] = field(default_factory=dict)
+    #: disruption-model counters (crashes, missed/dropped contacts,
+    #: interrupted/failed transfers, re-infections, downtime) — populated
+    #: only by faulted runs (see :mod:`repro.faults`); empty otherwise so
+    #: unfaulted results keep their historical serialised form
+    churn: dict[str, float] = field(default_factory=dict)
     #: opt-in ``(time, fill fraction)`` occupancy trace — piecewise
     #: constant between entries; None unless the run recorded it
     #: (``SimulationConfig.record_occupancy`` / ``--record-occupancy``)
@@ -89,6 +94,8 @@ class RunResult:
             row[f"removed_{reason}"] = count
         for policy, count in self.drops.items():
             row[f"drops_{policy}"] = count
+        for key, value in self.churn.items():
+            row[f"churn_{key}"] = value
         return row
 
     # ------------------------------------------------- lossless round-trip
@@ -105,6 +112,9 @@ class RunResult:
         out = dataclasses.asdict(self)
         if self.occupancy_series is not None:
             out["occupancy_series"] = [list(p) for p in self.occupancy_series]
+        if not self.churn:
+            # unfaulted records keep the historical journal format exactly
+            del out["churn"]
         return out
 
     @classmethod
@@ -118,7 +128,7 @@ class RunResult:
         unknown = sorted(set(data) - names)
         if unknown:
             raise ValueError(f"unknown RunResult field(s): {', '.join(unknown)}")
-        required = names - {"peak_occupancy", "drops", "occupancy_series"}
+        required = names - {"peak_occupancy", "drops", "occupancy_series", "churn"}
         missing = sorted(required - set(data))
         if missing:
             raise ValueError(f"missing RunResult field(s): {', '.join(missing)}")

@@ -137,6 +137,15 @@ class ContactSession:
         self.budget = budget
         self.t_cursor = contact.start
         self.idle = False
+        #: disruption model active (see :mod:`repro.faults`) — gates every
+        #: per-slot liveness check so unfaulted runs pay one attribute load
+        self.faulted = sim.faults is not None
+        #: True once a mid-contact link interruption severed this session
+        self.severed = False
+        #: the pair's ``(crash_count_a, crash_count_b)`` at session start;
+        #: any endpoint crash afterwards permanently tears the session down
+        #: (set by the simulation's faulted contact-start path)
+        self.crash_epoch: tuple[int, int] | None = None
         #: (sender_id, bid) pairs whose P-Q coin failed this contact;
         #: allocated by the planner on the first failed flip
         self._coin_rejected: set[tuple[int, BundleId]] | None = None
@@ -151,10 +160,32 @@ class ContactSession:
         """Contact-start processing: history, control exchange, first slot."""
         begin_contact(self.sim, self.contact, session=self)
 
+    # ------------------------------------------------------------- disruption
+
+    def _on_severed(self) -> None:
+        """Pre-drawn mid-contact link interruption: the radios lose sync."""
+        self.severed = True
+
+    def _link_alive(self) -> bool:
+        """Both endpoints up, link unsevered, and no crash since start."""
+        if self.severed:
+            return False
+        sim = self.sim
+        contact = self.contact
+        if sim._node_down[contact.a] or sim._node_down[contact.b]:
+            return False
+        epoch = self.crash_epoch
+        return epoch is None or epoch == (
+            sim._crash_count[contact.a],
+            sim._crash_count[contact.b],
+        )
+
     # --------------------------------------------------------------- planning
 
     def _schedule_next(self, now: float) -> None:
         if self.budget <= 0:
+            return
+        if self.faulted and not self._link_alive():
             return
         slot_end = self.t_cursor + self.tx_time
         if slot_end > self.contact.end + 1e-9:
@@ -183,6 +214,19 @@ class ContactSession:
         now = self.sim.engine.now
         self.budget -= 1
         bid = sb.bid
+        if self.faulted:
+            if not self._link_alive():
+                # The link died while the bits were in flight: the slot was
+                # spent (partial transfer charged) but nothing arrives, and
+                # the session is over — no reschedule.
+                self.sim.metrics.churn.interrupted_transfers += 1
+                return
+            if self.sim._transfer_failed():
+                # I.i.d. transfer failure: the slot is charged, the link
+                # survives, and the planner may retry the same bundle.
+                self.sim.metrics.churn.failed_transfers += 1
+                self._schedule_next(now)
+                return
         # Re-validate the receiver side: it may have obtained the bundle (or
         # learned it was delivered) through a concurrent contact mid-flight.
         if receiver.has_copy(bid) or receiver.protocol.knows_delivered(bid):

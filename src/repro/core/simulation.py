@@ -26,11 +26,12 @@ from repro.core.protocols.antipacket import AntiPacketProtocol
 from repro.core.protocols.base import Protocol
 from repro.core.protocols.registry import ProtocolConfig
 from repro.core.results import RunResult
-from repro.core.session import begin_contact, contact_bookkeeping
+from repro.core.session import ContactSession, begin_contact, contact_bookkeeping
 from repro.core.workload import Flow, total_offered
 from repro.des.engine import Engine
 from repro.des.event import PRIORITY_EARLY
 from repro.des.rng import RngHub
+from repro.faults import FaultSpec
 from repro.mobility.contact import ContactTrace, zero_transfer_mask
 
 #: Sweep-cell execution engines: the event simulator and the mean-field
@@ -68,6 +69,11 @@ class SimulationConfig:
             :func:`repro.analytic.surrogate.surrogate_run`). The sweep
             layer dispatches on this; :class:`Simulation` itself always
             runs event-driven.
+        faults: Optional disruption model (:class:`repro.faults.FaultSpec`):
+            node churn with reboot state loss, lossy links, and per-bundle
+            transfer failure. ``None`` (or a trivial, all-defaults spec)
+            keeps the perfectly-reliable world and costs nothing — the run
+            is byte-identical to one without fault support.
     """
 
     buffer_capacity: int | tuple[int, ...] = 10
@@ -75,6 +81,7 @@ class SimulationConfig:
     drop_policy: str = "reject"
     record_occupancy: bool = False
     engine: str = "des"
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.buffer_capacity, (list, tuple)):
@@ -106,6 +113,22 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r}; available: {', '.join(ENGINES)}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ValueError(
+                f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
+            )
+
+    @property
+    def active_faults(self) -> FaultSpec | None:
+        """The fault spec when it actually injects something, else None.
+
+        A trivial (all-defaults) spec is indistinguishable from no spec:
+        callers gate the entire disruption machinery on this so fault
+        support costs nothing when faults are off.
+        """
+        if self.faults is None or self.faults.is_trivial:
+            return None
+        return self.faults
 
     # ----------------------------------------------------- per-node accessors
 
@@ -162,6 +185,7 @@ class Simulation:
         planner: str = "incremental",
         record_occupancy: bool = False,
         batch_degenerate: bool = True,
+        fault_seed: int | None = None,
     ) -> None:
         if not flows:
             raise ValueError("at least one flow is required")
@@ -235,6 +259,29 @@ class Simulation:
         self._offered = total_offered(flows)
         self._delivered_total = 0
         self._ran = False
+        # ---------------------------------------------------- disruption model
+        #: the active fault spec, or None for the perfectly-reliable world
+        #: (a trivial spec deactivates the machinery entirely)
+        self.faults = self.config.active_faults
+        if self.faults is not None:
+            #: fault randomness is decoupled from the run seed so sweep
+            #: layers can hold the fault environment fixed (common random
+            #: numbers) while the protocol/run seed varies
+            self._fault_hub = RngHub(seed if fault_seed is None else fault_seed)
+            self._node_down = [False] * trace.num_nodes
+            #: lifetime crash count per node — sessions capture the pair's
+            #: epochs at contact start and tear down on any change
+            self._crash_count = [0] * trace.num_nodes
+            #: per-node ids the node knew were delivered before a knowledge
+            #: wipe — re-accepting one of these counts as a re-infection
+            self._wiped_known: dict[int, set[BundleId]] = {}
+            self._transfer_fault_rng = (
+                self._fault_hub.stream("transfer-failure")
+                if self.faults.transfer_failure_prob > 0.0
+                else None
+            )
+            self._contact_dropped = None
+            self._contact_severed_at = None
 
     # ---------------------------------------------------------------- services
     # (the SimulationServices surface protocols and sessions rely on)
@@ -331,6 +378,13 @@ class Simulation:
         receiver.counters.bundles_received += 1
         self.metrics.on_buffer_delta(+1, now)
         self.metrics.on_copy_delta(bundle.bid, +1, now)
+        if self.faults is not None and self._wiped_known:
+            wiped = self._wiped_known.get(receiver.id)
+            if wiped and bundle.bid in wiped:
+                # The node knew this bundle was delivered before a reboot
+                # wiped that knowledge — it just got re-infected.
+                wiped.discard(bundle.bid)
+                self.metrics.churn.reinfections += 1
         return sb
 
     # ---------------------------------------------------------------- internals
@@ -519,6 +573,145 @@ class Simulation:
                     node.counters.control_units_sent += encounters
         self._defer_history = False
 
+    # ----------------------------------------------------------------- faults
+    # (active only when self.faults is not None; see repro.faults)
+
+    def _transfer_failed(self) -> bool:
+        """Draw the i.i.d. per-bundle transfer-failure coin."""
+        rng = self._transfer_fault_rng
+        return rng is not None and rng.random() < self.faults.transfer_failure_prob
+
+    def _schedule_faults(self, horizon: float) -> None:
+        """Turn the churn model into crash/recover events on the engine.
+
+        Per node, the sampled exponential up/down process and the explicit
+        ``downtime_schedule`` entries are merged into a union of down
+        intervals, then scheduled as first-class events. Scheduling happens
+        *before* the contact bulk-load, so at equal timestamps a crash
+        fires before the contact it should kill — deterministically.
+        """
+        spec = self.faults
+        intervals: dict[int, list[list[float]]] = {}
+        for node_id, down_at, up_at in spec.downtime_schedule:
+            if node_id >= self.trace.num_nodes:
+                raise ValueError(
+                    f"downtime_schedule references node {node_id} in a "
+                    f"{self.trace.num_nodes}-node population"
+                )
+            intervals.setdefault(node_id, []).append([down_at, up_at])
+        if spec.churn_rate > 0.0:
+            mean_uptime = 1.0 / spec.churn_rate
+            for i in range(self.trace.num_nodes):
+                rng = self._fault_hub.stream("churn", i)
+                t = 0.0
+                while True:
+                    t += rng.exponential(mean_uptime)
+                    if t >= horizon:
+                        break
+                    down_at = t
+                    t += rng.exponential(spec.mean_downtime)
+                    intervals.setdefault(i, []).append([down_at, t])
+        for node_id in sorted(intervals):
+            spans = sorted(intervals[node_id])
+            merged = [spans[0]]
+            for span in spans[1:]:
+                if span[0] <= merged[-1][1]:
+                    if span[1] > merged[-1][1]:
+                        merged[-1][1] = span[1]
+                else:
+                    merged.append(span)
+            for down_at, up_at in merged:
+                if down_at >= horizon:
+                    continue
+                self.engine.at(down_at, self._on_crash, node_id)
+                if up_at < horizon:
+                    self.engine.at(up_at, self._on_recover, node_id)
+
+    def _draw_link_faults(self) -> None:
+        """Pre-draw per-contact link faults in trace order (one pass each).
+
+        Drawing against the trace index — not the executed schedule —
+        keeps the streams independent of protocol behaviour, so every
+        protocol at the same fault seed faces the identical environment.
+        """
+        spec = self.faults
+        n = len(self.trace.contacts)
+        if spec.contact_drop_prob > 0.0:
+            rng = self._fault_hub.stream("link-drop")
+            self._contact_dropped = rng.random(n) < spec.contact_drop_prob
+        if spec.interrupt_prob > 0.0:
+            rng = self._fault_hub.stream("link-interrupt")
+            flags = rng.random(n) < spec.interrupt_prob
+            fracs = rng.random(n)
+            starts, ends, _a, _b = self.trace.contact_arrays()
+            self._contact_severed_at = np.where(
+                flags, starts + fracs * (ends - starts), np.inf
+            )
+
+    def _on_crash(self, node_id: int) -> None:
+        if self._node_down[node_id]:
+            return
+        self._node_down[node_id] = True
+        self._crash_count[node_id] += 1
+        now = self.now
+        self.metrics.on_node_down(now)
+        spec = self.faults
+        node = self.nodes[node_id]
+        if spec.wipes_buffer:
+            # All live copies (origin and relay) die at the crash instant;
+            # per-copy removals at one timestamp coalesce into a single
+            # occupancy-series step, so integrals stay exact. The delivered
+            # log is not a buffer and survives: delivered stays delivered.
+            for sb in node.sendable():
+                self.remove_copy(node, sb.bid, reason="crashed")
+        if spec.wipes_knowledge:
+            forgotten = node.protocol.on_knowledge_wiped(now)
+            if forgotten:
+                self._wiped_known.setdefault(node_id, set()).update(forgotten)
+
+    def _on_recover(self, node_id: int) -> None:
+        if not self._node_down[node_id]:
+            return
+        self._node_down[node_id] = False
+        self.metrics.on_node_up(self.now)
+
+    def _begin_contact_faulted(self, idx: int) -> None:
+        """Contact start under the disruption model (reference schedule).
+
+        The drop coin erases the contact outright; a down endpoint misses
+        it (no bookkeeping — the radios never met). Surviving contacts run
+        the normal layers, plus a pre-drawn mid-contact severance event and
+        the crash-epoch stamp that tears the session down if an endpoint
+        crashes mid-encounter.
+        """
+        contact = self.trace.contacts[idx]
+        dropped = self._contact_dropped
+        if dropped is not None and dropped[idx]:
+            self.metrics.churn.dropped_contacts += 1
+            return
+        if self._node_down[contact.a] or self._node_down[contact.b]:
+            self.metrics.churn.missed_contacts += 1
+            return
+        now = contact.start
+        nodes = self.nodes
+        contact_bookkeeping(self, nodes[contact.a], nodes[contact.b], now)
+        tx_time, budget = ContactSession.link_budget(self, contact)
+        if not budget:
+            return
+        session = ContactSession(self, contact, tx_time=tx_time, budget=budget)
+        session.crash_epoch = (
+            self._crash_count[contact.a],
+            self._crash_count[contact.b],
+        )
+        severed_at = self._contact_severed_at
+        if severed_at is not None:
+            t = float(severed_at[idx])
+            if t < contact.end:
+                # Scheduled before the first transfer completion, so at an
+                # equal timestamp the severance wins deterministically.
+                self.engine.at(t, session._on_severed)
+        session._schedule_next(now)
+
     def _inject_flow(self, flow: Flow) -> None:
         now = self.engine.now
         source = self.nodes[flow.source]
@@ -576,6 +769,21 @@ class Simulation:
         # encounter-inert population skips their events entirely in favour
         # of one batched flush after the run.
         contacts = self.trace.contacts
+        if self.faults is not None:
+            # Disruption model: crash/recover events first (so a crash at a
+            # contact's start time fires before the contact), pre-drawn
+            # link faults, and the per-event reference schedule — faulted
+            # populations are ineligible for degenerate-encounter batching
+            # (a "degenerate" contact can still be missed or dropped, and
+            # chunk bookkeeping cannot see downtime).
+            self._schedule_faults(horizon)
+            self._draw_link_faults()
+            self.engine.schedule_sorted(
+                (contact.start, self._begin_contact_faulted, (i,))
+                for i, contact in enumerate(contacts)
+            )
+            self.engine.run(until=horizon)
+            return self._build_result()
         zero_mask = None
         if self._batch_degenerate and contacts:
             zero_mask = zero_transfer_mask(self.trace, self.config.bundle_tx_time)
@@ -630,12 +838,39 @@ class Simulation:
                 for contact, degenerate in zip(contacts, zero_list, strict=True)
             )
         self.engine.run(until=horizon)
-        end_time = self.engine.now
         if self._defer_history:
-            self._flush_deferred_bookkeeping(zero_mask, end_time)
+            self._flush_deferred_bookkeeping(zero_mask, self.engine.now)
+        return self._build_result()
+
+    def _build_result(self) -> RunResult:
+        end_time = self.engine.now
         success = self._all_delivered()
         delay = self.metrics.completion_time(self._offered) if success else None
         flow0 = self.flows[0]
+        removals = {
+            "evicted": self.metrics.removals.evicted,
+            "expired": self.metrics.removals.expired,
+            "immunized": self.metrics.removals.immunized,
+            "ec_aged_out": self.metrics.removals.ec_aged_out,
+        }
+        churn: dict[str, float] = {}
+        if self.faults is not None:
+            # Faulted runs (only) carry the churn block and the crashed
+            # removal reason — unfaulted results stay byte-identical to
+            # the pre-fault-support format.
+            removals["crashed"] = self.metrics.removals.crashed
+            c = self.metrics.churn
+            churn = {
+                "crashes": c.crashes,
+                "recoveries": c.recoveries,
+                "missed_contacts": c.missed_contacts,
+                "dropped_contacts": c.dropped_contacts,
+                "interrupted_transfers": c.interrupted_transfers,
+                "failed_transfers": c.failed_transfers,
+                "reinfections": c.reinfections,
+                "downtime": self.metrics.downtime(end_time),
+                "mean_nodes_down": self.metrics.mean_nodes_down(end_time),
+            }
         return RunResult(
             protocol=self.protocol_config.protocol_name,
             protocol_label=self.protocol_config.label,
@@ -658,12 +893,8 @@ class Simulation:
             },
             transmissions=self.metrics.bundle_transmissions,
             wasted_slots=self.metrics.wasted_slots,
-            removals={
-                "evicted": self.metrics.removals.evicted,
-                "expired": self.metrics.removals.expired,
-                "immunized": self.metrics.removals.immunized,
-                "ec_aged_out": self.metrics.removals.ec_aged_out,
-            },
+            removals=removals,
+            churn=churn,
             drops=dict(self.metrics.drops),
             end_time=end_time,
             occupancy_series=(

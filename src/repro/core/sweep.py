@@ -107,8 +107,17 @@ def run_single(
             "an analytic contact model has no contacts for the event-driven "
             "engine; run this cell with engine='ode'"
         )
+    # The fault environment keys on (load, rep) only — like the endpoint
+    # draw, and unlike the run seed — so every protocol at the same grid
+    # coordinates faces the identical crashes, outages, and link losses
+    # (common random numbers across the protocol axis).
+    fault_seed = None
+    if sweep.sim.active_faults is not None:
+        fault_seed = int(
+            derive_seed(sweep.master_seed, "faults", load, rep).generate_state(1)[0]
+        )
     sim = Simulation(
-        trace, protocol, flows, config=sweep.sim, seed=run_seed
+        trace, protocol, flows, config=sweep.sim, seed=run_seed, fault_seed=fault_seed
     )
     return sim.run()
 
@@ -149,15 +158,17 @@ def campaign_fingerprint(
     """JSON-safe identity of a sweep campaign, for the checkpoint manifest.
 
     Two invocations that would produce different grids — different seed,
-    loads, replications, protocol set, traces, or engine — must produce
-    different fingerprints, so a ``--resume`` against the wrong campaign
-    directory is refused instead of silently mixing results.
+    loads, replications, protocol set, traces, engine, or fault
+    environment — must produce different fingerprints, so a ``--resume``
+    against the wrong campaign directory is refused instead of silently
+    mixing results (e.g. faulted and unfaulted cells).
     """
     protocols: dict[str, None] = {}
     traces: dict[str, None] = {}
     for cell in cells:
         protocols.setdefault(cell.protocol.label, None)
         traces.setdefault(cell.trace.name, None)
+    active = sweep.sim.active_faults
     return {
         "master_seed": sweep.master_seed,
         "loads": [int(x) for x in sweep.loads],
@@ -166,6 +177,8 @@ def campaign_fingerprint(
         "engine": sweep.sim.engine,
         "protocols": list(protocols),
         "traces": list(traces),
+        # a trivial spec normalises to None: it runs the identical grid
+        "faults": None if active is None else active.to_dict(),
     }
 
 

@@ -15,6 +15,7 @@ from collections.abc import Callable
 from repro.analysis.figures import FigureData, build_figure
 from repro.analysis.tables import (
     build_table2,
+    render_resilience_table,
     render_table1,
     render_table2,
     render_tradeoff_table,
@@ -221,6 +222,21 @@ def _tradeoff(r: ExperimentRunner) -> str:
     return render_tradeoff_table(study)
 
 
+def _resilience(r: ExperimentRunner) -> str:
+    from repro.experiments.resilience import ResilienceConfig, run_resilience_study
+
+    study = run_resilience_study(
+        ResilienceConfig(
+            loads=tuple(r.scale.loads),
+            replications=r.scale.replications,
+            seed=r.seed,
+        ),
+        executor=r.executor,
+        progress=r.progress,
+    )
+    return render_resilience_table(study)
+
+
 def _table2(r: ExperimentRunner) -> str:
     rows = build_table2(
         r.sweep("enhanced_rwp"),
@@ -377,6 +393,17 @@ for _exp in [
         "Whole-sweep means of delivery/buffer/duplication for 6 protocols × 2 mobility models.",
         ("enhanced_rwp", "enhanced_trace"),
         _table2,
+    ),
+    Experiment(
+        "resilience",
+        "Resilience — delivery under node churn × state-loss mode",
+        "table",
+        "Disruption-tolerance study beyond the paper: sweep the node crash "
+        "rate and the reboot state-loss mode (preserve vs wipe buffer and "
+        "knowledge) for pure epidemic, anti-packet P-Q and immunity; the "
+        "0-churn row is the exact fault-free configuration.",
+        (),
+        _resilience,
     ),
     Experiment(
         "tradeoff",

@@ -1,0 +1,216 @@
+"""The churn-resilience study: delivery under node crashes and reboots.
+
+The paper's runs assume a cooperative, always-on population; the fault
+model (:mod:`repro.faults`) lets us ask how each protocol family degrades
+when relays crash, sit out contacts, and reboot with or without their
+state. This study sweeps the grid
+
+    churn rate × state-loss mode × protocol × load × replication
+
+on one shared mobility input. The churn-rate axis includes 0.0 — a
+fault-free baseline row that, by the trivial-spec normalisation in
+:meth:`~repro.core.simulation.SimulationConfig.active_faults`, runs the
+exact unfaulted code path — and the state-loss axis contrasts reboots
+that preserve state (``none``) with reboots that wipe both the buffer and
+the knowledge store (``all``). The fault environment keys on
+(seed, load, rep) only, so every (protocol, state-loss) configuration at
+the same grid coordinates faces the identical crash schedule: column
+differences are protocol behaviour, not fault luck.
+
+The interesting separation is between the state-preserving and
+state-losing columns of knowledge-bearing protocols: an anti-packet or
+immunity node that forgets its delivered-set is re-infected by the next
+carrier it meets (counted as ``reinfections``), while a flooding node has
+no knowledge to lose and only pays the buffer wipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.core.executors import Cell, Executor, SerialExecutor
+from repro.core.results import SweepResult
+from repro.core.simulation import SimulationConfig
+from repro.core.sweep import SweepConfig, build_cells
+from repro.faults import STATE_LOSS_MODES, FaultSpec
+from repro.scenarios import MobilitySpec, ProtocolSpec
+
+#: Churn rates swept by default (per-node crash rate, 1/s while up): the
+#: fault-free baseline, a gentle regime (~1 crash per 20 000 s up-time)
+#: and a harsh one (~1 per 5 000 s).
+DEFAULT_CHURN_RATES: tuple[float, ...] = (0.0, 5e-5, 2e-4)
+
+#: Reboot modes contrasted by default: state-preserving vs full wipe.
+DEFAULT_STATE_LOSS_MODES: tuple[str, ...] = ("none", "all")
+
+#: Mean outage duration (s) for every non-zero churn rate.
+DEFAULT_MEAN_DOWNTIME: float = 2000.0
+
+#: Protocol families compared by default: the flooding baseline (nothing
+#: to forget), an anti-packet purger and an immunity-table protocol (both
+#: knowledge-bearing, so state loss hurts them twice).
+DEFAULT_PROTOCOLS: tuple[ProtocolSpec, ...] = (
+    ProtocolSpec("pure"),
+    ProtocolSpec("pq", {"p": 1.0, "q": 1.0, "anti_packets": True}),
+    ProtocolSpec("immunity"),
+)
+
+
+def churn_rate_label(rate: float) -> str:
+    """Row label for a churn-rate axis value."""
+    return f"{rate:g}"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The resilience study's grid.
+
+    Attributes:
+        churn_rates: Per-node crash rates to sweep; include 0.0 for the
+            fault-free baseline row.
+        state_loss_modes: Reboot modes (see
+            :data:`repro.faults.STATE_LOSS_MODES`) contrasted per rate.
+        mean_downtime: Mean outage duration (s), shared by every faulted
+            cell so the rate axis varies crash frequency alone.
+        protocols: Protocols under comparison.
+        mobility: Shared mobility input (the paper's campus trace by
+            default).
+        loads: Offered loads per cell.
+        replications: Replications per (rate, mode, protocol, load).
+        seed: Master seed — the fault environment derives from
+            (seed, load, rep), so all protocols and all state-loss modes
+            face identical crash schedules at the same coordinates.
+    """
+
+    churn_rates: tuple[float, ...] = DEFAULT_CHURN_RATES
+    state_loss_modes: tuple[str, ...] = DEFAULT_STATE_LOSS_MODES
+    mean_downtime: float = DEFAULT_MEAN_DOWNTIME
+    protocols: tuple[ProtocolSpec, ...] = DEFAULT_PROTOCOLS
+    mobility: MobilitySpec = field(default_factory=lambda: MobilitySpec("campus"))
+    loads: tuple[int, ...] = (10, 30)
+    replications: int = 3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.churn_rates:
+            raise ValueError("churn_rates must be non-empty")
+        if any(rate < 0 for rate in self.churn_rates):
+            raise ValueError("churn_rates must be >= 0")
+        if not self.state_loss_modes:
+            raise ValueError("state_loss_modes must be non-empty")
+        for mode in self.state_loss_modes:
+            if mode not in STATE_LOSS_MODES:
+                raise ValueError(
+                    f"unknown state-loss mode {mode!r}; "
+                    f"known: {', '.join(STATE_LOSS_MODES)}"
+                )
+        if not self.protocols:
+            raise ValueError("protocols must be non-empty")
+        if self.mean_downtime <= 0 and any(r > 0 for r in self.churn_rates):
+            raise ValueError("mean_downtime must be > 0 for non-zero churn rates")
+        # Validate every (rate, mode) combination up front.
+        for rate in self.churn_rates:
+            for mode in self.state_loss_modes:
+                self.fault_spec(rate, mode)
+
+    def fault_spec(self, rate: float, mode: str) -> FaultSpec:
+        """The :class:`~repro.faults.FaultSpec` of one grid cell."""
+        return FaultSpec(
+            churn_rate=rate, mean_downtime=self.mean_downtime, state_loss=mode
+        )
+
+
+@dataclass
+class ResilienceStudy:
+    """All runs of a resilience study, keyed by (rate label, mode)."""
+
+    config: ResilienceConfig
+    #: (churn-rate label, state-loss mode) → that cell's SweepResult
+    grid: dict[tuple[str, str], SweepResult] = field(default_factory=dict)
+
+    @property
+    def rate_labels(self) -> list[str]:
+        return [churn_rate_label(r) for r in self.config.churn_rates]
+
+    @property
+    def modes(self) -> list[str]:
+        return list(self.config.state_loss_modes)
+
+    def sweep(self, rate: str | float, mode: str) -> SweepResult:
+        """The SweepResult of one (churn rate, state-loss mode) cell."""
+        key = rate if isinstance(rate, str) else churn_rate_label(rate)
+        return self.grid[(key, mode)]
+
+
+def run_resilience_study(
+    config: ResilienceConfig | None = None,
+    *,
+    executor: Executor | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ResilienceStudy:
+    """Execute the churn rate × state-loss × protocol grid.
+
+    The mobility input is built once and shared by every cell, and the
+    whole grid goes to the executor as a single flat cell list — parallel
+    backends see maximum width. Zero-rate cells carry a trivial fault
+    spec, which :attr:`SimulationConfig.active_faults` normalises away:
+    the baseline row runs the identical batched fast path as an unfaulted
+    sweep.
+    """
+    config = config or ResilienceConfig()
+    trace = config.mobility.build(seed=config.seed)
+    protocol_configs = [p.build() for p in config.protocols]
+
+    flat: list[Cell] = []
+    spans: list[tuple[str, str, int]] = []  # (rate label, mode, #cells)
+    for rate in config.churn_rates:
+        for mode in config.state_loss_modes:
+            sweep_cfg = SweepConfig(
+                loads=config.loads,
+                replications=config.replications,
+                master_seed=config.seed,
+                shared_trace=True,
+                sim=SimulationConfig(faults=config.fault_spec(rate, mode)),
+            )
+            cells = build_cells(trace, protocol_configs, sweep_cfg)
+            spans.append((churn_rate_label(rate), mode, len(cells)))
+            flat.extend(cells)
+
+    hook = None
+    if progress is not None:
+        report = progress
+
+        def hook(done: int, total: int, cell: Cell) -> None:
+            spec = cell.sweep.sim.faults
+            assert spec is not None
+            report(
+                f"[{done}/{total}] {cell.protocol.label}: "
+                f"churn={churn_rate_label(spec.churn_rate)} "
+                f"state_loss={spec.state_loss} "
+                f"load={cell.load} rep={cell.rep} done"
+            )
+
+    backend = executor or SerialExecutor()
+    results = backend.run(flat, progress=hook)
+
+    study = ResilienceStudy(config=config)
+    offset = 0
+    for rate_label, mode, count in spans:
+        sweep = SweepResult()
+        sweep.runs.extend(results[offset : offset + count])
+        study.grid[(rate_label, mode)] = sweep
+        offset += count
+    return study
+
+
+__all__ = [
+    "DEFAULT_CHURN_RATES",
+    "DEFAULT_MEAN_DOWNTIME",
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_STATE_LOSS_MODES",
+    "ResilienceConfig",
+    "ResilienceStudy",
+    "churn_rate_label",
+    "run_resilience_study",
+]

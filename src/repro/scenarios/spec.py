@@ -38,6 +38,7 @@ from repro.core.simulation import SimulationConfig
 from repro.core.sweep import SweepConfig, TraceFactory
 from repro.core.workload import PAPER_LOADS, PAPER_REPLICATIONS
 from repro.des.rng import derive_seed
+from repro.faults import FaultSpec
 from repro.mobility.contact import ContactTrace
 
 # --------------------------------------------------------------------------
@@ -395,6 +396,13 @@ class ScenarioSpec:
             failure in :attr:`SweepResult.failures
             <repro.core.results.SweepResult.failures>` and completes the
             rest of the grid.
+        faults: Optional disruption model (:class:`repro.faults.FaultSpec`)
+            applied to every cell: node churn with reboot state loss,
+            lossy links, per-bundle transfer failure. The fault
+            environment is seeded from ``(seed, "faults", load, rep)`` —
+            independent of the protocol — so every protocol in the
+            scenario faces the identical disruptions. Unsupported by the
+            ``ode`` engine (the surrogate has no node identity to crash).
     """
 
     mobility: MobilitySpec
@@ -415,6 +423,7 @@ class ScenarioSpec:
     retry_backoff: float = 0.5
     cell_timeout: float | None = None
     on_error: str = "abort"
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         protocols = tuple(self.protocols)
@@ -429,9 +438,17 @@ class ScenarioSpec:
             drop_policy=self.drop_policy,
             record_occupancy=self.record_occupancy,
             engine=self.engine,
+            faults=self.faults,
         )
         object.__setattr__(self, "buffer_capacity", sim.buffer_capacity)
         object.__setattr__(self, "bundle_tx_time", sim.bundle_tx_time)
+        if self.engine == "ode" and sim.active_faults is not None:
+            raise ValueError(
+                "fault injection is unsupported by the surrogate: the ODE "
+                "engine models an anonymous mean-field population with no "
+                "node identity to crash or link to sever — run faulted "
+                'cells with engine="des", or clear the fault spec'
+            )
         if not (0.0 < self.surrogate_tolerance <= 1.0):
             raise ValueError(
                 f"surrogate_tolerance must be in (0, 1], got {self.surrogate_tolerance}"
@@ -480,6 +497,7 @@ class ScenarioSpec:
                 drop_policy=self.drop_policy,
                 record_occupancy=self.record_occupancy,
                 engine=self.engine,
+                faults=self.faults,
             ),
         )
 
@@ -592,6 +610,8 @@ class ScenarioSpec:
         }
         if self.surrogate_reference is not None:
             out["surrogate_reference"] = self.surrogate_reference.to_dict()
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
         return out
 
     @classmethod
@@ -618,6 +638,7 @@ class ScenarioSpec:
                 "retry_backoff",
                 "cell_timeout",
                 "on_error",
+                "faults",
             ],
         )
         if "mobility" not in data:
@@ -637,6 +658,11 @@ class ScenarioSpec:
             kwargs["surrogate_reference"] = MobilitySpec.from_dict(
                 data["surrogate_reference"]
             )
+        if data.get("faults") is not None:
+            faults = data["faults"]
+            if not isinstance(faults, Mapping):
+                raise ValueError("ScenarioSpec.faults must be a mapping")
+            kwargs["faults"] = FaultSpec.from_dict(dict(faults))
         for key in (
             "name",
             "seed",

@@ -182,6 +182,23 @@ class TestSurrogateRun:
         expected = sum((N - j) / ((N - 1) * rates[j - 1]) for j in range(1, N))
         assert self.run_cell().delay == pytest.approx(expected, rel=0.01)
 
+    def test_rejects_active_fault_spec(self):
+        """Satellite acceptance: the mean-field surrogate has no node
+        identity to crash or link to sever — a non-trivial FaultSpec is
+        refused, never silently ignored."""
+        from repro.faults import FaultSpec
+
+        with pytest.raises(ValueError, match="unsupported by the surrogate"):
+            self.run_cell(
+                faults=FaultSpec(churn_rate=1e-4, mean_downtime=100.0)
+            )
+
+    def test_trivial_fault_spec_is_fine(self):
+        from repro.faults import FaultSpec
+
+        res = self.run_cell(faults=FaultSpec())
+        assert res == self.run_cell()
+
     def test_deterministic_across_seeds(self):
         a = self.run_cell()
         b = dataclasses.replace(self.run_cell(), seed=a.seed)

@@ -232,6 +232,58 @@ class TestCampaignFingerprint:
             cells_b, cfg_b
         )
 
+    def _faulted_grid(self, faults):
+        from repro.core.simulation import SimulationConfig
+
+        trace = micro_trace(CHAIN_ROWS, 4)
+        cfg = SweepConfig(
+            loads=(2, 3),
+            replications=2,
+            master_seed=3,
+            sim=SimulationConfig(faults=faults),
+        )
+        protos = [make_protocol_config("pure"), make_protocol_config("ec")]
+        return build_cells(trace, protos, cfg), cfg
+
+    def test_fault_spec_changes_fingerprint(self):
+        from repro.faults import FaultSpec
+
+        cells, cfg = self._grid()
+        plain = campaign_fingerprint(cells, cfg)
+        assert plain["faults"] is None
+        faulted_cells, faulted_cfg = self._faulted_grid(
+            FaultSpec(churn_rate=1e-4, mean_downtime=500.0, state_loss="all")
+        )
+        faulted = campaign_fingerprint(faulted_cells, faulted_cfg)
+        assert faulted != plain
+        assert faulted["faults"]["churn_rate"] == 1e-4
+        assert json.loads(json.dumps(faulted)) == faulted
+
+    def test_trivial_fault_spec_fingerprints_like_none(self):
+        from repro.faults import FaultSpec
+
+        cells, cfg = self._grid()
+        trivial_cells, trivial_cfg = self._faulted_grid(FaultSpec())
+        assert campaign_fingerprint(trivial_cells, trivial_cfg) == (
+            campaign_fingerprint(cells, cfg)
+        )
+
+    def test_resume_against_different_fault_env_refused(self, tmp_path):
+        """Satellite acceptance: a campaign journaled without faults must
+        refuse a --resume that would mix in faulted cells (and vice
+        versa) instead of silently blending the two."""
+        from repro.faults import FaultSpec
+
+        cells, cfg = self._grid()
+        with CheckpointJournal(tmp_path / "camp") as j:
+            j.begin(campaign_fingerprint(cells, cfg))
+        faulted_cells, faulted_cfg = self._faulted_grid(
+            FaultSpec(churn_rate=1e-4, mean_downtime=500.0)
+        )
+        j2 = CheckpointJournal(tmp_path / "camp", resume=True)
+        with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+            j2.begin(campaign_fingerprint(faulted_cells, faulted_cfg))
+
 
 class TestAtomicWrite:
     def test_writes_content(self, tmp_path):

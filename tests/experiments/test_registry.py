@@ -9,6 +9,7 @@ EXPECTED_IDS = {
     "table1",
     "table2",
     "tradeoff",
+    "resilience",
     *(f"fig{n:02d}" for n in range(7, 21)),
 }
 

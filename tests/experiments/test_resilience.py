@@ -1,0 +1,128 @@
+"""The churn-resilience study and its table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import build_resilience_table, render_resilience_table
+from repro.core.executors import ParallelExecutor
+from repro.core.simulation import SimulationConfig
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.experiments import get_experiment
+from repro.experiments.resilience import (
+    ResilienceConfig,
+    ResilienceStudy,
+    churn_rate_label,
+    run_resilience_study,
+)
+from repro.scenarios import MobilitySpec, ProtocolSpec
+
+SMALL = ResilienceConfig(
+    churn_rates=(0.0, 2e-4),
+    state_loss_modes=("none", "all"),
+    mean_downtime=1500.0,
+    protocols=(
+        ProtocolSpec("pure"),
+        ProtocolSpec("pq", {"p": 1.0, "q": 1.0, "anti_packets": True}),
+        ProtocolSpec("immunity"),
+    ),
+    mobility=MobilitySpec(
+        "interval", {"num_nodes": 12, "max_encounters_per_node": 20, "max_interval": 400.0}
+    ),
+    loads=(4, 8),
+    replications=2,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def study() -> ResilienceStudy:
+    return run_resilience_study(SMALL)
+
+
+class TestStudy:
+    def test_grid_is_complete(self, study):
+        assert set(study.grid) == {
+            (churn_rate_label(r), m)
+            for r in SMALL.churn_rates
+            for m in SMALL.state_loss_modes
+        }
+        for sweep in study.grid.values():
+            assert len(sweep) == 12  # 3 protocols × 2 loads × 2 reps
+
+    def test_zero_churn_row_reproduces_unfaulted_sweep_exactly(self, study):
+        """Acceptance: the baseline row is the exact fault-free
+        configuration — run-for-run equality with a plain sweep."""
+        baseline = run_sweep(
+            SMALL.mobility.build(seed=SMALL.seed),
+            [p.build() for p in SMALL.protocols],
+            SweepConfig(
+                loads=SMALL.loads,
+                replications=SMALL.replications,
+                master_seed=SMALL.seed,
+                sim=SimulationConfig(),
+            ),
+        )
+        for mode in SMALL.state_loss_modes:
+            assert study.sweep(0.0, mode).runs == baseline.runs
+
+    def test_state_loss_measurably_degrades_delivery(self, study):
+        """Acceptance: state-preserving and state-losing reboots separate
+        for every protocol family at the faulted churn rate."""
+        for label in study.sweep(0.0, "none").protocols():
+            keep = study.sweep(2e-4, "none").protocol_means(label)
+            lose = study.sweep(2e-4, "all").protocol_means(label)
+            assert lose["delivery_ratio"] < keep["delivery_ratio"]
+
+    def test_churn_counters_populated_only_when_faulted(self, study):
+        """Faulted cells report churn accounting; the zero-churn row keeps
+        the fault-free result shape (no churn block at all)."""
+        for mode in SMALL.state_loss_modes:
+            assert all(r.churn == {} for r in study.sweep(0.0, mode).runs)
+            faulted = study.sweep(2e-4, mode).runs
+            assert all(r.churn for r in faulted)
+            assert any(r.churn["crashes"] > 0 for r in faulted)
+
+    def test_parallel_execution_is_identical(self, study):
+        parallel = run_resilience_study(SMALL, executor=ParallelExecutor(jobs=2))
+        for key, sweep in study.grid.items():
+            assert parallel.grid[key].runs == sweep.runs
+
+    def test_progress_reports_every_cell(self):
+        lines = []
+        run_resilience_study(SMALL, progress=lines.append)
+        total = len(SMALL.churn_rates) * len(SMALL.state_loss_modes) * 12
+        assert len(lines) == total
+        assert "churn=" in lines[0] and "state_loss=" in lines[0]
+
+
+class TestTable:
+    def test_rows_cover_grid(self, study):
+        rows = build_resilience_table(study)
+        assert len(rows) == len(SMALL.churn_rates) * len(SMALL.state_loss_modes) * 3
+        assert rows[0].churn_rate == "0" and rows[0].state_loss == "none"
+
+    def test_render_contains_all_axes(self, study):
+        text = render_resilience_table(study)
+        for mode in SMALL.state_loss_modes:
+            assert mode in text
+        assert "0.0002" in text
+        assert "Pure epidemic" in text
+        assert "Epidemic with immunity" in text
+
+
+class TestRegistry:
+    def test_experiment_registered(self):
+        exp = get_experiment("resilience")
+        assert exp.kind == "table"
+        assert "state-loss" in exp.description
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="churn_rates"):
+            ResilienceConfig(churn_rates=())
+        with pytest.raises(ValueError, match="state-loss"):
+            ResilienceConfig(state_loss_modes=("vaporise",))
+        with pytest.raises(ValueError, match="mean_downtime"):
+            ResilienceConfig(mean_downtime=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(churn_rates=(-1e-4,))

@@ -88,6 +88,15 @@ class TestUnseededRandom:
             path="src/repro/des/rng.py",
         )
 
+    def test_covers_fault_module(self):
+        # the src/repro/* scope glob crosses "/": the disruption layer is
+        # in-scope without a rule change
+        assert_fires(
+            "DET001",
+            "import random\nx = random.random()\n",
+            path="src/repro/faults.py",
+        )
+
     def test_pragma_suppresses(self):
         assert_clean(
             "DET001",

@@ -428,3 +428,68 @@ class TestFailurePolicyKeys:
         spec.run(checkpoint=camp)
         with pytest.raises(CheckpointError, match="--resume"):
             spec.run(checkpoint=camp)
+
+
+class TestFaultSpecKeys:
+    """The disruption-model key: a FaultSpec riding on the scenario."""
+
+    def _faults(self):
+        from repro.faults import FaultSpec
+
+        return FaultSpec(
+            churn_rate=2e-4,
+            mean_downtime=1000.0,
+            state_loss="all",
+            contact_drop_prob=0.05,
+        )
+
+    def test_round_trip(self):
+        spec = tiny_scenario(faults=self._faults())
+        data = json.loads(spec.to_json())
+        assert data["faults"]["churn_rate"] == 2e-4
+        assert data["faults"]["state_loss"] == "all"
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_absent_by_default(self):
+        spec = tiny_scenario()
+        assert spec.faults is None
+        assert "faults" not in spec.to_dict()
+
+    def test_sweep_config_carries_faults(self):
+        spec = tiny_scenario(faults=self._faults())
+        assert spec.sweep_config().sim.faults == self._faults()
+        assert spec.sweep_config().sim.active_faults == self._faults()
+
+    def test_unknown_fault_key_rejected(self):
+        data = tiny_scenario(faults=self._faults()).to_dict()
+        data["faults"]["blast_radius"] = 3
+        with pytest.raises(ValueError, match="unknown key"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_fault_values_rejected(self):
+        data = tiny_scenario(faults=self._faults()).to_dict()
+        data["faults"]["contact_drop_prob"] = 1.5
+        with pytest.raises(ValueError, match="contact_drop_prob"):
+            ScenarioSpec.from_dict(data)
+
+    def test_ode_engine_rejects_faults(self):
+        """Satellite acceptance: the analytic surrogate has no node
+        identity to crash — a faulted ode scenario must fail fast."""
+        with pytest.raises(ValueError, match="unsupported by the surrogate"):
+            tiny_scenario(
+                engine="ode", surrogate_check=False, faults=self._faults()
+            )
+
+    def test_ode_engine_accepts_trivial_faults(self):
+        from repro.faults import FaultSpec
+
+        spec = tiny_scenario(
+            engine="ode", surrogate_check=False, faults=FaultSpec()
+        )
+        assert spec.faults == FaultSpec()
+
+    def test_faulted_run_populates_churn(self):
+        result = tiny_scenario(faults=self._faults()).run()
+        assert len(result) == 8
+        assert all(r.churn for r in result.runs)
+        assert all("crashed" in r.removals for r in result.runs)

@@ -450,3 +450,79 @@ class TestFaultToleranceCli:
              "--on-error", "keep-going"]
         ) == 0
         assert "scenario tiny: 8 runs" in capsys.readouterr().out
+
+
+class TestDisruptionCli:
+    """Acceptance: run-scenario grows fault-model override flags."""
+
+    @pytest.fixture
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(TINY_SCENARIO))
+        return path
+
+    def test_parser_accepts_disruption_flags(self):
+        args = build_parser().parse_args(
+            ["run-scenario", "s.json", "--churn-rate", "2e-4",
+             "--mean-downtime", "500", "--link-loss", "0.1",
+             "--state-loss", "all"]
+        )
+        assert args.churn_rate == 2e-4
+        assert args.mean_downtime == 500.0
+        assert args.link_loss == 0.1
+        assert args.state_loss == "all"
+        defaults = build_parser().parse_args(["run-scenario", "s.json"])
+        assert defaults.churn_rate is None and defaults.mean_downtime is None
+        assert defaults.link_loss is None and defaults.state_loss is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run-scenario", "s.json", "--churn-rate", "-1e-4"],
+            ["run-scenario", "s.json", "--mean-downtime", "-5"],
+            ["run-scenario", "s.json", "--link-loss", "1.5"],
+            ["run-scenario", "s.json", "--state-loss", "vaporise"],
+        ],
+    )
+    def test_bad_disruption_flags_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_inconsistent_override_rejected_with_message(
+        self, scenario_file, capsys
+    ):
+        # churn without a repair time is a FaultSpec invariant violation —
+        # surfaced as exit code 2, not a traceback
+        assert main(
+            ["run-scenario", str(scenario_file), "--churn-rate", "1e-4"]
+        ) == 2
+        assert "mean_downtime" in capsys.readouterr().err
+
+    def test_overrides_inject_faults_end_to_end(
+        self, scenario_file, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "out"
+        assert main(
+            ["run-scenario", str(scenario_file), "--churn-rate", "2e-4",
+             "--mean-downtime", "500", "--state-loss", "all",
+             "--out", str(out_dir)]
+        ) == 0
+        assert "scenario tiny: 8 runs" in capsys.readouterr().out
+        header = (out_dir / "tiny_runs.csv").read_text().splitlines()[0]
+        assert "churn_crashes" in header and "churn_downtime" in header
+
+    def test_override_merges_onto_scenario_fault_spec(self, tmp_path, capsys):
+        # --state-loss must extend the file's fault block, not replace it
+        path = tmp_path / "faulty.json"
+        path.write_text(json.dumps({
+            **TINY_SCENARIO,
+            "name": "faulty",
+            "faults": {"churn_rate": 2e-4, "mean_downtime": 500.0},
+        }))
+        out_dir = tmp_path / "out"
+        assert main(
+            ["run-scenario", str(path), "--state-loss", "buffer",
+             "--out", str(out_dir)]
+        ) == 0
+        header = (out_dir / "faulty_runs.csv").read_text().splitlines()[0]
+        assert "churn_crashes" in header  # churn kept from the file

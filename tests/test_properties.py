@@ -13,6 +13,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.core.protocols import make_protocol_config
 from repro.core.simulation import Simulation, SimulationConfig
 from repro.core.workload import Flow
+from repro.faults import FaultSpec
 from repro.mobility.contact import Contact, ContactTrace
 
 PROTOCOL_STRATEGY = st.sampled_from(
@@ -180,3 +181,136 @@ class TestSystemInvariants:
             ).run()
 
         assert run("immunity").delivery_ratio >= run("pure").delivery_ratio - 1e-12
+
+
+RANDOM_FAULTS = st.builds(
+    FaultSpec,
+    churn_rate=st.floats(1e-5, 2e-3),
+    mean_downtime=st.floats(50.0, 3_000.0),
+    state_loss=st.sampled_from(["none", "buffer", "knowledge", "all"]),
+    contact_drop_prob=st.floats(0.0, 0.5),
+    interrupt_prob=st.floats(0.0, 0.5),
+    transfer_failure_prob=st.floats(0.0, 0.5),
+)
+
+
+class TestFaultInvariants:
+    """The disruption model must not break the physics: copies stay
+    conserved, delivered stays delivered, and a fault spec that injects
+    nothing must be invisible down to the last bit."""
+
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        scenario=random_scenario(),
+        proto=PROTOCOL_STRATEGY,
+        faults=RANDOM_FAULTS,
+        seed=st.integers(0, 3),
+    )
+    def test_invariants_hold_under_random_churn(self, scenario, proto, faults, seed):
+        from repro.core.bundle import BundleId
+        from repro.core.simulation import SimulationConfig as Config
+
+        trace, source, dest, load, capacity = scenario
+        name, kwargs = proto
+        flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+        sim = Simulation(
+            trace,
+            make_protocol_config(name, **kwargs),
+            flows,
+            config=Config(buffer_capacity=capacity, faults=faults),
+            seed=seed,
+            fault_seed=seed + 100,
+        )
+        result = sim.run()
+
+        # delivery bookkeeping survives crashes, wipes and severed links
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert result.delivered == len(sim.metrics.deliveries)
+        assert result.delivered <= load
+
+        # delivered stays delivered: the destination's log is never wiped
+        dest_node = sim.nodes[dest]
+        assert set(sim.metrics.deliveries) == set(dest_node.delivered)
+
+        # copy conservation: every copy is live, delivered, or accounted
+        # as removed — never duplicated, never negative
+        for node in sim.nodes:
+            assert len(node.relay) <= capacity
+        for flow in flows:
+            for seq in range(1, flow.num_bundles + 1):
+                bid = BundleId(flow.flow_id, seq)
+                live = sum(1 for n in sim.nodes if n.get_copy(bid) is not None)
+                expected = live + (1 if bid in dest_node.delivered else 0)
+                assert sim.metrics.copy_count(bid) == expected
+
+        # churn counters are coherent
+        churn = result.churn
+        assert churn["recoveries"] <= churn["crashes"]
+        assert churn["downtime"] >= 0.0
+        assert result.removals.get("crashed", 0) >= 0
+        if not faults.wipes_knowledge:
+            # re-infection is only possible after a knowledge wipe
+            assert churn["reinfections"] == 0
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        scenario=random_scenario(),
+        proto=PROTOCOL_STRATEGY,
+        faults=RANDOM_FAULTS,
+    )
+    def test_faulted_runs_deterministic(self, scenario, proto, faults):
+        from repro.core.simulation import SimulationConfig as Config
+
+        trace, source, dest, load, capacity = scenario
+        name, kwargs = proto
+        flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+
+        def run():
+            return Simulation(
+                trace,
+                make_protocol_config(name, **kwargs),
+                flows,
+                config=Config(buffer_capacity=capacity, faults=faults),
+                seed=17,
+                fault_seed=23,
+            ).run()
+
+        assert run() == run()
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=random_scenario(), proto=PROTOCOL_STRATEGY, seed=st.integers(0, 3))
+    def test_zero_fault_spec_is_bit_identical_to_no_faults(
+        self, scenario, proto, seed
+    ):
+        """Acceptance: an all-zero FaultSpec must not perturb one bit of
+        any run — same RunResult, same serialised record."""
+        from repro.core.simulation import SimulationConfig as Config
+
+        trace, source, dest, load, capacity = scenario
+        name, kwargs = proto
+        flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+
+        def run(faults):
+            return Simulation(
+                trace,
+                make_protocol_config(name, **kwargs),
+                flows,
+                config=Config(buffer_capacity=capacity, faults=faults),
+                seed=seed,
+            ).run()
+
+        plain, zeroed = run(None), run(FaultSpec())
+        assert plain == zeroed
+        assert plain.to_dict() == zeroed.to_dict()
