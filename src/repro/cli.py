@@ -34,7 +34,7 @@ from repro.analysis.figures import FigureData
 from repro.analysis.io import write_runs_csv, write_series_csv, write_series_json
 from repro.core.executors import ON_ERROR_MODES, make_executor
 from repro.core.policies import drop_policy_names
-from repro.core.simulation import ENGINES
+from repro.core.simulation import ENGINES, KERNELS
 from repro.experiments.registry import get_experiment, iter_experiments
 from repro.experiments.runner import SCALES, ExperimentRunner
 from repro.faults import STATE_LOSS_MODES, FaultSpec
@@ -148,6 +148,8 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         overrides["record_occupancy"] = True
     if args.engine is not None:
         overrides["engine"] = args.engine
+    if args.kernel is not None:
+        overrides["kernel"] = args.kernel
     if args.no_surrogate_check:
         overrides["surrogate_check"] = False
     if args.retries is not None:
@@ -495,6 +497,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's engine: des = event simulator, "
         "ode = analytic mean-field surrogate (cross-validated against a "
         "small DES reference grid before running)",
+    )
+    p_scenario.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="override the DES execution kernel: auto = array-resident "
+        "contact-sweep kernel when the cell qualifies (event fallback "
+        "otherwise), event = classic per-event path, soa = force the sweep "
+        "kernel and fail fast when a cell cannot run on it; results are "
+        "byte-identical either way",
     )
     p_scenario.add_argument(
         "--no-surrogate-check",

@@ -276,6 +276,33 @@ class MetricsCollector:
         self._control_storage.add(delta_slots, now)
         self._note_fill(now)
 
+    def on_relay_copy_stored(self, bid: BundleId, now: float) -> None:
+        """Fused ``on_buffer_delta(+1)`` + ``on_copy_delta(+1, bid)``.
+
+        One call for the sweep kernel's hot store path — the arithmetic
+        is the unfused pair's, mutation for mutation, with the error
+        guards elided because the caller discharges them structurally
+        (the bundle is born since the sender holds a live copy, event
+        time never runs backwards, and a +1 delta cannot go negative).
+        """
+        occ = self._occupancy
+        occ._integral += occ._value * (now - occ._since)
+        occ._value += 1.0
+        occ._since = now
+        fill = (occ._value + self._control_storage._value) / self.total_capacity
+        if fill > self.peak_occupancy:
+            self.peak_occupancy = fill
+        if self.record_occupancy:
+            series = self.occupancy_series
+            if series and series[-1][0] == now:
+                series[-1] = (now, fill)
+            else:
+                series.append((now, fill))
+        track = self._copies[bid]
+        track.integral += track.count * (now - track.since)
+        track.since = now
+        track.count += 1
+
     def mean_buffer_occupancy(self, now: float) -> float:
         """Time-averaged mean fill fraction across all nodes in [0, now].
 
@@ -385,6 +412,18 @@ class MetricsCollector:
 
     def on_control_units(self, kind: str, units: int) -> None:
         self.signaling.add(kind, units)
+
+    def on_batched_contacts(self, contacts: int) -> None:
+        """Account the per-contact signaling of ``contacts`` bulk-processed
+        encounters: two summary vectors (one each way) per contact.
+
+        Array-resident consumers — the deferred-bookkeeping flush and the
+        SoA sweep kernel — ingest whole skipped spans through this instead
+        of one :meth:`on_control_units` call per contact; the resulting
+        counter is identical because the summary-vector count is a plain
+        order-independent sum.
+        """
+        self.signaling.summary_vector += 2 * contacts
 
     def on_transmission(self) -> None:
         self.bundle_transmissions += 1

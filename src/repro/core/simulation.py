@@ -38,6 +38,11 @@ from repro.mobility.contact import ContactTrace, zero_transfer_mask
 #: surrogate (:mod:`repro.analytic.surrogate`).
 ENGINES: tuple[str, ...] = ("des", "ode")
 
+#: DES execution kernels: ``auto`` picks the SoA sweep kernel
+#: (:mod:`repro.core.sweepkernel`) when the run is eligible and falls back
+#: to the event loop otherwise; ``event``/``soa`` pin one tier.
+KERNELS: tuple[str, ...] = ("auto", "event", "soa")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -69,6 +74,15 @@ class SimulationConfig:
             :func:`repro.analytic.surrogate.surrogate_run`). The sweep
             layer dispatches on this; :class:`Simulation` itself always
             runs event-driven.
+        kernel: Which DES execution kernel carries the run: ``"event"``
+            (the event heap, always available), ``"soa"`` (the
+            array-resident contact-sweep kernel,
+            :mod:`repro.core.sweepkernel` — encounter-inert protocol
+            populations without faults only, byte-identical results), or
+            ``"auto"`` (default: the kernel when eligible, the event loop
+            otherwise). ``"soa"`` fails fast — at config construction for
+            statically-known conflicts (ODE engine, active faults), at
+            :meth:`Simulation.run` for population-dependent ones.
         faults: Optional disruption model (:class:`repro.faults.FaultSpec`):
             node churn with reboot state loss, lossy links, and per-bundle
             transfer failure. ``None`` (or a trivial, all-defaults spec)
@@ -81,6 +95,7 @@ class SimulationConfig:
     drop_policy: str = "reject"
     record_occupancy: bool = False
     engine: str = "des"
+    kernel: str = "auto"
     faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
@@ -113,10 +128,28 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r}; available: {', '.join(ENGINES)}"
             )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; available: {', '.join(KERNELS)}"
+            )
         if self.faults is not None and not isinstance(self.faults, FaultSpec):
             raise ValueError(
                 f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
             )
+        if self.kernel == "soa":
+            if self.engine != "des":
+                raise ValueError(
+                    "kernel='soa' selects a DES execution tier; it cannot be "
+                    f"combined with engine={self.engine!r} — use kernel='auto' "
+                    "or engine='des'"
+                )
+            if self.active_faults is not None:
+                raise ValueError(
+                    "kernel='soa' cannot run under fault injection: the sweep "
+                    "kernel has no crash/recovery or link-severance machinery "
+                    "— run faulted cells with kernel='auto' or 'event', or "
+                    "clear the fault spec"
+                )
 
     @property
     def active_faults(self) -> FaultSpec | None:
@@ -210,6 +243,11 @@ class Simulation:
         #: bid)`` whenever a session plans a transfer (planner-equivalence
         #: tests record the pick sequence through this)
         self.on_transfer_planned = None
+        #: copy-population observer installed by the SoA sweep kernel for
+        #: the duration of a kernel run (``copy_added``/``copy_removed``/
+        #: ``delivered`` hooks); None on the event path, costing one
+        #: is-None test per state change
+        self._state_observer = None
         #: :meth:`link_tx_time` fast path: the constant per-link transfer
         #: time when the population is homogeneous, else None
         self._uniform_tx_time = (
@@ -301,6 +339,9 @@ class Simulation:
         """Remove a live copy with full metric/counter bookkeeping."""
         was_relay = bid in node.relay
         sb = node.remove_copy(bid)
+        observer = self._state_observer
+        if observer is not None:
+            observer.copy_removed(node, sb)
         self._cancel_expiry(sb)
         if was_relay:
             self.metrics.on_buffer_delta(-1, self.now)
@@ -352,6 +393,9 @@ class Simulation:
     ) -> None:
         """Final delivery at the destination (``via`` = handing-over node)."""
         receiver.mark_delivered(bundle.bid, now)
+        observer = self._state_observer
+        if observer is not None:
+            observer.delivered(receiver, bundle.bid)
         receiver.counters.bundles_delivered += 1
         self.metrics.on_delivered(bundle.bid, now, via=via)
         self.metrics.on_copy_delta(bundle.bid, +1, now)
@@ -378,6 +422,9 @@ class Simulation:
         receiver.counters.bundles_received += 1
         self.metrics.on_buffer_delta(+1, now)
         self.metrics.on_copy_delta(bundle.bid, +1, now)
+        observer = self._state_observer
+        if observer is not None:
+            observer.copy_added(receiver, sb)
         if self.faults is not None and self._wiped_known:
             wiped = self._wiped_known.get(receiver.id)
             if wiped and bundle.bid in wiped:
@@ -539,7 +586,9 @@ class Simulation:
         if processed > 1:
             self.batched_encounters += processed - 1
 
-    def _flush_deferred_bookkeeping(self, zero_mask, end_time: float) -> None:
+    def _flush_deferred_bookkeeping(
+        self, zero_mask, end_time: float, *, arrays=None
+    ) -> None:
         """Batched bookkeeping for an encounter-inert protocol population.
 
         Replays, in one pass, everything the per-event path would have
@@ -554,24 +603,124 @@ class Simulation:
         transfer-completion event, which by bulk-load seq ordering fires
         *after* every contact event of the same timestamp.
         """
-        starts, _ends, a_ids, b_ids = self.trace.contact_arrays()
+        starts, _ends, a_ids, b_ids = (
+            arrays if arrays is not None else self.trace.contact_arrays()
+        )
         fired = int(np.searchsorted(starts, end_time, side="right"))
         nodes = self.nodes
-        for c in self.trace.contacts[:fired]:
-            now = c.start
-            nodes[c.a].history.note_encounter(now)
-            nodes[c.b].history.note_encounter(now)
+        if fired:
+            self._replay_encounter_history(a_ids[:fired], b_ids[:fired])
         zmask = zero_mask[:fired]
         batched = int(zmask.sum())
         if batched:
             self.batched_encounters += batched
-            self.metrics.signaling.summary_vector += 2 * batched
+            self.metrics.on_batched_contacts(batched)
             counts = np.bincount(a_ids[:fired][zmask], minlength=len(nodes))
             counts += np.bincount(b_ids[:fired][zmask], minlength=len(nodes))
             for node, encounters in zip(nodes, counts.tolist(), strict=True):
                 if encounters:
                     node.counters.control_units_sent += encounters
         self._defer_history = False
+
+    def _replay_encounter_history(self, a_ids, b_ids) -> None:
+        """Bulk-replay ``note_encounter`` for every fired contact endpoint.
+
+        Bit-exact replacement for calling ``note_encounter(c.start)`` on
+        both endpoints of each fired contact in trace order. Each node's
+        chronological encounter stream comes from the trace's cached
+        :meth:`~repro.mobility.contact.ContactTrace.encounter_streams`
+        (stable sort of the interleaved endpoint columns, a then b at
+        equal contact rank — built once per immutable trace, not per
+        run); a run that halts early consumes each node's prefix of that
+        stream, whose length is exactly the node's endpoint count among
+        the fired contacts because times ascend within a node's stream.
+        Encounters of *different* nodes commute, so the global
+        interleaving is irrelevant.
+
+        The per-encounter recurrence ("advance the rendezvous anchor when
+        the gap from it exceeds the debounce threshold") collapses: at any
+        encounter whose gap from the *previous encounter* already exceeds
+        the threshold, the anchor provably resets to that encounter —
+        whatever the earlier anchor was, it is at most the previous
+        encounter time, so the advance fires and lands exactly there. The
+        final state therefore depends only on the (typically short) run
+        after the node's last such reset, plus — when that run never
+        advances — one preceding inter-reset chunk to recover the anchor
+        the reset measured its interval from. Both walks execute the
+        recurrence's own float subtractions, so results are bit-identical
+        to calling ``note_encounter`` per contact. Nodes carrying
+        pre-existing history state fall back to the full recurrence.
+        """
+        nodes = self.nodes
+        n = len(nodes)
+        offsets, ts, nid_tail, same, dts = self.trace.encounter_streams()
+        counts = np.bincount(a_ids, minlength=n)
+        counts += np.bincount(b_ids, minlength=n)
+        thresholds = np.array(
+            [node.history.min_rendezvous_gap for node in nodes], dtype=np.float64
+        )
+        # reset flags are valid for the fired prefixes even though they are
+        # computed over the full stream: a flag at position p < hi compares
+        # ts[p] to ts[p-1], both inside the prefix (times ascend per node)
+        reset = same & (dts > thresholds[nid_tail])
+        reset_pos = np.flatnonzero(reset) + 1
+        resets_below_hi = np.searchsorted(reset_pos, offsets[:-1] + counts).tolist()
+        reset_pos_l = reset_pos.tolist()
+        counts_l = counts.tolist()
+        offsets_l = offsets.tolist()
+        # only the short post-reset tails are walked in Python, so convert
+        # slices on demand instead of materializing all 2·fired floats
+        ts_item = ts.item
+        for nid, node in enumerate(nodes):
+            k = counts_l[nid]
+            if not k:
+                continue
+            history = node.history
+            history.encounter_count += k
+            lo = offsets_l[nid]
+            gap_min = history.min_rendezvous_gap
+            last = history.last_encounter_time
+            if last is not None:
+                # resumed history: full recurrence (no fresh-start reset)
+                interval = history.last_interval
+                for t in ts[lo : lo + k].tolist():
+                    gap = t - last
+                    if gap > gap_min:
+                        interval = gap
+                        last = t
+                history.last_encounter_time = last
+                history.last_interval = interval
+                continue
+            hi = lo + k
+            j = resets_below_hi[nid]
+            r = reset_pos_l[j - 1] if j else 0
+            if r <= lo:
+                r = r_prev = lo
+            else:
+                r_prev = reset_pos_l[j - 2] if j > 1 else 0
+                if r_prev < lo:
+                    r_prev = lo
+            # recurrence over the post-reset tail, anchored exactly at t_r
+            last = ts_item(r)
+            interval = None
+            for t in ts[r + 1 : hi].tolist():
+                gap = t - last
+                if gap > gap_min:
+                    interval = gap
+                    last = t
+            history.last_encounter_time = last
+            if interval is not None:
+                history.last_interval = interval
+            elif r > lo:
+                # tail never advanced, so the final interval is the one the
+                # reset at r set: t_r minus the anchor the preceding chunk
+                # ended on
+                anchor = ts_item(r_prev)
+                for t in ts[r_prev + 1 : r].tolist():
+                    gap = t - anchor
+                    if gap > gap_min:
+                        anchor = t
+                history.last_interval = ts_item(r) - anchor
 
     # ----------------------------------------------------------------- faults
     # (active only when self.faults is not None; see repro.faults)
@@ -627,7 +776,7 @@ class Simulation:
                 if up_at < horizon:
                     self.engine.at(up_at, self._on_recover, node_id)
 
-    def _draw_link_faults(self) -> None:
+    def _draw_link_faults(self, arrays=None) -> None:
         """Pre-draw per-contact link faults in trace order (one pass each).
 
         Drawing against the trace index — not the executed schedule —
@@ -643,7 +792,9 @@ class Simulation:
             rng = self._fault_hub.stream("link-interrupt")
             flags = rng.random(n) < spec.interrupt_prob
             fracs = rng.random(n)
-            starts, ends, _a, _b = self.trace.contact_arrays()
+            starts, ends, _a, _b = (
+                arrays if arrays is not None else self.trace.contact_arrays()
+            )
             self._contact_severed_at = np.where(
                 flags, starts + fracs * (ends - starts), np.inf
             )
@@ -725,6 +876,9 @@ class Simulation:
             sb = source.add_origin(bundle, now)
             self.metrics.on_bundle_born(bundle.bid, now)
             source.protocol.on_bundle_created(sb, now)
+            observer = self._state_observer
+            if observer is not None:
+                observer.copy_added(source, sb)
 
     def _all_delivered(self) -> bool:
         return self._delivered_total >= self._offered
@@ -753,6 +907,21 @@ class Simulation:
                     "never be offered yet still count against the delivery "
                     "ratio — extend the trace or move the flow earlier"
                 )
+        if self.config.kernel != "event":
+            from repro.core.sweepkernel import SweepKernel, kernel_unsupported_reason
+
+            reason = kernel_unsupported_reason(self)
+            if reason is None:
+                # The SoA tier owns the whole run (including flow
+                # injection — seq ordering must be established under its
+                # calendar) and produces a byte-identical RunResult.
+                return SweepKernel(self).run(horizon)
+            if self.config.kernel == "soa":
+                raise ValueError(
+                    f"kernel='soa' cannot execute this run: {reason}; use "
+                    "kernel='auto' (event fallback) or kernel='event'"
+                )
+        for flow in self.flows:
             if flow.created_at == 0.0:
                 self._inject_flow(flow)
             else:
@@ -769,6 +938,9 @@ class Simulation:
         # encounter-inert population skips their events entirely in favour
         # of one batched flush after the run.
         contacts = self.trace.contacts
+        # one columnar materialization per run, shared by the degenerate
+        # pre-classification, the link-fault draw, and the deferred flush
+        arrays = self.trace.contact_arrays() if contacts else None
         if self.faults is not None:
             # Disruption model: crash/recover events first (so a crash at a
             # contact's start time fires before the contact), pre-drawn
@@ -777,7 +949,7 @@ class Simulation:
             # (a "degenerate" contact can still be missed or dropped, and
             # chunk bookkeeping cannot see downtime).
             self._schedule_faults(horizon)
-            self._draw_link_faults()
+            self._draw_link_faults(arrays)
             self.engine.schedule_sorted(
                 (contact.start, self._begin_contact_faulted, (i,))
                 for i, contact in enumerate(contacts)
@@ -786,7 +958,9 @@ class Simulation:
             return self._build_result()
         zero_mask = None
         if self._batch_degenerate and contacts:
-            zero_mask = zero_transfer_mask(self.trace, self.config.bundle_tx_time)
+            zero_mask = zero_transfer_mask(
+                self.trace, self.config.bundle_tx_time, arrays=arrays
+            )
             if not zero_mask.any():
                 zero_mask = None
         if zero_mask is None:
@@ -839,7 +1013,7 @@ class Simulation:
             )
         self.engine.run(until=horizon)
         if self._defer_history:
-            self._flush_deferred_bookkeeping(zero_mask, self.engine.now)
+            self._flush_deferred_bookkeeping(zero_mask, self.engine.now, arrays=arrays)
         return self._build_result()
 
     def _build_result(self) -> RunResult:

@@ -162,6 +162,12 @@ def campaign_fingerprint(
     environment — must produce different fingerprints, so a ``--resume``
     against the wrong campaign directory is refused instead of silently
     mixing results (e.g. faulted and unfaulted cells).
+
+    The execution ``kernel`` is deliberately **excluded**: the sweep
+    kernel is byte-identical to the event engine, so a campaign may be
+    resumed under a different kernel setting without changing a single
+    result — the fingerprint identifies *what* is computed, not how
+    fast.
     """
     protocols: dict[str, None] = {}
     traces: dict[str, None] = {}

@@ -1,0 +1,773 @@
+"""Heap-free Structure-of-Arrays contact-sweep execution (``kernel="soa"``).
+
+The third execution tier between the event DES and the ODE surrogate: for
+*encounter-inert* protocol populations (pure/ttl/ec/ec_ttl, coins-only
+P-Q, spray) a contact can only matter when one side holds a copy the
+other side lacks. The kernel therefore consumes the trace's columnar
+:meth:`~repro.mobility.contact.ContactTrace.contact_arrays` form directly
+and sweeps the time-sorted contact stream against per-node copy masks —
+one bundle-bit per offered bundle, held both as Python integers (O(1)
+single-contact probes: ``sendable[a] & ~has[b]``) and as NumPy boolean
+rows (vectorized classification of long futile spans, one row test per
+:data:`_SKIP_CHUNK` contacts). Futile spans are retired in bulk —
+per-contact signaling in one counter update, per-node control units in
+one ``bincount`` — while the rare *possible* contacts run the exact
+per-slot exchange machinery (same predicates, same RNG draws, same
+service-layer calls) against a tiny binary calendar that carries only
+dynamic events: transfer completions, TTL expiries, deferred flow
+injections. Because every copy-state change happens inside a calendar
+event, the masks are constant across each contact span between events —
+no invalidation machinery, no rescans.
+
+Exactness contract: a kernel run produces a byte-identical
+:class:`~repro.core.results.RunResult` to the event engine. The calendar
+mirrors the engine's ``(time, seq)`` tie-break order exactly — the live
+contacts occupy the contiguous seq range the engine's bulk-load would
+have assigned them, so every equal-timestamp ordering the event schedule
+guarantees (origin expiry before contact, contact before completion) is
+preserved — and the span skip test is *conservative*: a skipped contact
+is one whose session would provably plan nothing, mutate nothing, and
+draw no randomness (every candidate exits the planner's predicate chain
+at the expiry or receiver-has-copy check, both of which precede the P-Q
+coin). Everything else — metrics, counters, protocol hooks, buffer
+policies — is the same service-layer code the event engine runs, invoked
+in the same order with the same arguments. ``tools/bench_sim.py
+--verify`` and ``tests/core/test_sweepkernel.py`` enforce the contract.
+
+Eligibility (:func:`kernel_unsupported_reason`): a homogeneous
+encounter-inert population with the base (constant-false)
+``knows_delivered``, no active fault injection, and trace-layer batching
+enabled. ``kernel="auto"`` silently falls back to the event engine
+otherwise; ``kernel="soa"`` fails fast with the reason.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.bundle import BundleId, StoredBundle
+from repro.core.protocols.base import Protocol
+from repro.mobility.contact import zero_transfer_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable, Container
+
+    from numpy.typing import NDArray
+
+    from repro.core.node import Node
+    from repro.core.results import RunResult
+    from repro.core.simulation import Simulation
+
+#: Contacts classified per vectorized row test once a futile span outlives
+#: the integer-probe budget (:data:`_PROBE`).
+_SKIP_CHUNK = 2048
+
+#: Single-contact integer probes spent on a span before switching to the
+#: chunked NumPy scan — short spans (the common case between two transfer
+#: completions) never pay array-call overhead.
+_PROBE = 48
+
+
+def kernel_unsupported_reason(sim: Simulation) -> str | None:
+    """Why the SoA kernel cannot execute ``sim``, or None when it can.
+
+    ``kernel="auto"`` routes a run to the event engine when this returns a
+    reason; ``kernel="soa"`` surfaces it in a ``ValueError`` instead. The
+    conditions mirror what the kernel structurally elides: per-contact
+    control exchange (non-inert protocols), delivery-knowledge probes
+    (``knows_delivered`` overrides), and the disruption machinery.
+    """
+    if sim.faults is not None:
+        return "fault injection is active (the kernel has no crash/link machinery)"
+    if sim.config.engine != "des":
+        return f"engine={sim.config.engine!r} does not execute discrete events"
+    if not sim._batch_degenerate:
+        return (
+            "batch_degenerate=False pins the per-event reference schedule "
+            "(equivalence-test knob)"
+        )
+    if not sim.nodes:
+        return "empty population"
+    proto_cls = type(sim.nodes[0].protocol)
+    for node in sim.nodes:
+        cls = type(node.protocol)
+        if cls is not proto_cls:
+            return "heterogeneous protocol classes in one population"
+        if not cls.encounter_inert:
+            return (
+                f"protocol {cls.name!r} is not encounter-inert (it exchanges "
+                "control state or hooks contact starts)"
+            )
+        if cls.knows_delivered is not Protocol.knows_delivered:
+            return (
+                f"protocol {cls.name!r} overrides knows_delivered; the kernel "
+                "elides delivery-knowledge probes"
+            )
+    return None
+
+
+class _Calendar:
+    """The engine facade simulation services see during a kernel run.
+
+    Exposes exactly the :class:`~repro.des.engine.Engine` surface the
+    service layer touches mid-run — ``now``, ``at``/``cancel`` (TTL
+    expiries, deferred flow injections), ``halt`` (early delivery) — over
+    a plain binary heap of ``[time, seq, action, args, alive]`` lists.
+    ``seq`` continues the exact counter the event queue would have used
+    (pre-run pushes, then one seq per live contact, then dynamic events),
+    so every equal-time tie-break matches the event engine bit-for-bit.
+    """
+
+    __slots__ = ("now", "heap", "seq", "events_fired", "halted")
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.heap: list[list[Any]] = []
+        self.seq = 0
+        self.events_fired = 0
+        self.halted = False
+
+    def at(self, time: float, action: Callable[..., Any], *args: Any) -> list[Any]:
+        entry: list[Any] = [time, self.seq, action, args, True]
+        self.seq += 1
+        heapq.heappush(self.heap, entry)
+        return entry
+
+    def cancel(self, entry: list[Any]) -> bool:
+        alive = bool(entry[4])
+        entry[4] = False
+        return alive
+
+    def halt(self) -> None:
+        self.halted = True
+
+
+class _Session:
+    """One live contact's exchange state (the SoA ContactSession twin)."""
+
+    __slots__ = ("node_a", "node_b", "end", "tx_time", "budget", "t_cursor", "coin_rejected")
+
+    def __init__(
+        self, node_a: Node, node_b: Node, start: float, end: float, tx_time: float, budget: int
+    ) -> None:
+        self.node_a = node_a
+        self.node_b = node_b
+        self.end = end
+        self.tx_time = tx_time
+        self.budget = budget
+        self.t_cursor = start
+        self.coin_rejected: set[tuple[int, BundleId]] | None = None
+
+
+class SweepKernel:
+    """One run's array-resident sweep state; single-use like Simulation."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self.cal = _Calendar()
+        nodes = sim.nodes
+        self._nodes = nodes
+        self._n = len(nodes)
+        # bundle-id → mask bit position over the full offered population
+        col: dict[BundleId, int] = {}
+        for flow in sim.flows:
+            flow_id = flow.flow_id
+            for seq in range(1, flow.num_bundles + 1):
+                col[BundleId(flow=flow_id, seq=seq)] = len(col)
+        self._col = col
+        n, b = self._n, len(col)
+        # Twin mask representations, mutated together on every copy event:
+        # Python ints for O(1) scalar probes, bool rows for chunked scans.
+        #: node holds a live (origin or relay) copy — possibly expired at
+        #: the current instant, which the planner's own predicate rejects
+        self._snd_bits: list[int] = [0] * n
+        #: node holds a copy *or* is the (delivered-to) destination — the
+        #: planner's receiver-has-it veto
+        self._has_bits: list[int] = [0] * n
+        self._b = b
+        self._mask_bytes = max(1, (b + 7) >> 3)
+        self._sendable: NDArray[np.bool_] = np.zeros((n, b), dtype=np.bool_)
+        self._has: NDArray[np.bool_] = np.zeros((n, b), dtype=np.bool_)
+        # the NumPy mirrors are consulted only by the (rare) chunked scan,
+        # so copy events just mark them stale instead of paying a scalar
+        # array write per mutation; the scan rebuilds from the int masks
+        self._masks_dirty = False
+        # per-node candidate order: (stored_at, bid) keys + parallel copies
+        # and bundle bits (the planner's total order, maintained
+        # incrementally), plus a per-destination tally so the
+        # peer-destined-first pass can skip scanning when the sender holds
+        # nothing addressed to this receiver
+        self._cand_keys: list[list[tuple[float, BundleId]]] = [[] for _ in range(n)]
+        self._cand_sbs: list[list[StoredBundle]] = [[] for _ in range(n)]
+        self._cand_bits: list[list[int]] = [[] for _ in range(n)]
+        self._dest_counts: list[dict[int, int]] = [{} for _ in range(n)]
+        # bulk-retired per-contact control units (futile contacts), settled
+        # vectorized at end of run — an order-independent sum
+        self._ctrl_np: NDArray[np.int64] = np.zeros(n, dtype=np.int64)
+        self._skipped = 0
+        proto_cls = type(nodes[0].protocol)
+        self._trivial_offer = proto_cls.should_offer is Protocol.should_offer
+        self._trivial_confirm = proto_cls.confirm_transfer is Protocol.confirm_transfer
+        self._trivial_accept = proto_cls.can_accept is Protocol.can_accept
+        # whole-chain gate for the inlined relay-store path in _complete:
+        # no protocol hook anywhere between transmission and candidate
+        # registration (base on_transmitted / accept / on_copy_received by
+        # method identity) and no fault machinery that store_received_copy
+        # would have to consult — pure epidemic and coin-flip P-Q qualify
+        self._trivial_store = (
+            sim.faults is None
+            and self._trivial_confirm
+            and proto_cls.on_transmitted is Protocol.on_transmitted
+            and proto_cls.accept is Protocol.accept
+            and proto_cls.on_copy_received is Protocol.on_copy_received
+        )
+        # fully-trivial substrate (pure epidemic): every planner predicate
+        # except the want filter and the capacity probe is vacuous, so
+        # _schedule_next can use the specialized candidate scan
+        self._pure_offer = (
+            self._trivial_store and self._trivial_offer and self._trivial_accept
+        )
+        # per-node store internals, cached for frame-free probes: the relay
+        # id → copy dicts are live views (never rebound by RelayStore), the
+        # origin dicts are the nodes' own
+        self._rentries: list[dict[BundleId, StoredBundle]] = [
+            node.relay.entries_view() for node in nodes
+        ]
+        self._rcaps: list[int] = [node.relay.capacity for node in nodes]
+        self._relays = [node.relay for node in nodes]
+        self._origins: list[dict[BundleId, StoredBundle]] = [
+            node.origin for node in nodes
+        ]
+        # snapshot of sim.on_transfer_planned, taken at run() start
+        self._planned_hook: Callable[[float, int, int, BundleId], None] | None = None
+        # live-contact columns (filled by _drive)
+        self._live_a: NDArray[np.intp] = np.empty(0, dtype=np.intp)
+        self._live_b: NDArray[np.intp] = np.empty(0, dtype=np.intp)
+
+    # ----------------------------------------------------- state observation
+    # (Simulation calls these on every copy-population change; they keep the
+    # masks and candidate orders exact without polling node buffers. Every
+    # call site sits inside a calendar event, so masks never change while a
+    # contact span is being classified.)
+
+    def copy_added(self, node: Node, sb: StoredBundle) -> None:
+        bid = sb.bundle.bid
+        live = self._origins[node.id].get(bid)
+        if live is None:
+            live = self._rentries[node.id].get(bid)
+        if live is not sb:
+            # stored and removed within one accept-hook chain (EC+TTL can
+            # age a just-received copy out before accounting finishes):
+            # net population change is nil, and copy_removed already ran
+            return
+        nid = node.id
+        c = self._col[bid]
+        bit = 1 << c
+        self._snd_bits[nid] |= bit
+        self._has_bits[nid] |= bit
+        self._masks_dirty = True
+        key = (sb.stored_at, bid)
+        keys = self._cand_keys[nid]
+        i = bisect_left(keys, key)
+        keys.insert(i, key)
+        self._cand_sbs[nid].insert(i, sb)
+        self._cand_bits[nid].insert(i, bit)
+        counts = self._dest_counts[nid]
+        dest = sb.bundle.destination
+        counts[dest] = counts.get(dest, 0) + 1
+
+    def copy_removed(self, node: Node, sb: StoredBundle) -> None:
+        bid = sb.bundle.bid
+        nid = node.id
+        c = self._col[bid]
+        bit = 1 << c
+        self._snd_bits[nid] &= ~bit
+        self._has_bits[nid] &= ~bit
+        self._masks_dirty = True
+        keys = self._cand_keys[nid]
+        key = (sb.stored_at, bid)
+        i = bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key and self._cand_sbs[nid][i] is sb:
+            del keys[i]
+            del self._cand_sbs[nid][i]
+            del self._cand_bits[nid][i]
+            self._dest_counts[nid][sb.bundle.destination] -= 1
+
+    def delivered(self, node: Node, bid: BundleId) -> None:
+        self._has_bits[node.id] |= 1 << self._col[bid]
+        self._masks_dirty = True
+
+    # -------------------------------------------------------------- planning
+    # (op-for-op mirrors of IncrementalPlanner / ContactSession — see
+    # repro.core.planner and repro.core.session for the semantics prose)
+
+    def _first_offer(
+        self, rec: _Session, sender: Node, receiver: Node, now: float, want: int
+    ) -> StoredBundle | None:
+        # ``want`` = sender's sendable bits the receiver lacks — candidates
+        # outside it exit the reference predicate chain at the receiver-
+        # has-copy check (no side effects, no RNG), so filtering by bit
+        # visits exactly the candidates the planner would inspect further,
+        # in the planner's exact (tier, stored_at, bid) order.
+        sender_id = sender.id
+        rid = receiver.id
+        coin_rejected: Container[tuple[int, BundleId]] = rec.coin_rejected or ()
+        sender_protocol = sender.protocol
+        receiver_protocol = receiver.protocol
+        sbs = self._cand_sbs[sender_id]
+        bits = self._cand_bits[sender_id]
+        trivial_offer = self._trivial_offer
+        # base can_accept inlined (destination always accepts; a buffer
+        # with room always accepts; a full one defers to the drop policy)
+        trivial_accept = self._trivial_accept
+        recv_entries = self._rentries[rid]
+        recv_cap = self._rcaps[rid]
+        peer_destined = self._dest_counts[sender_id].get(rid, 0)
+        if peer_destined:
+            # pass 1: bundles destined for the receiver, oldest-stored first
+            for i, bit in enumerate(bits):
+                if not (bit & want):
+                    continue
+                sb = sbs[i]
+                if sb.bundle.destination != rid:
+                    continue
+                if now >= sb.expiry:
+                    continue
+                bid = sb.bundle.bid
+                if (sender_id, bid) in coin_rejected:
+                    continue
+                # knows_delivered is the base constant-false hook for every
+                # kernel-eligible protocol — both probes elided; base
+                # can_accept is constant-true here (candidate is destined
+                # for the receiver)
+                if not trivial_accept and not receiver_protocol.can_accept(
+                    sb.bundle, now
+                ):
+                    continue
+                if trivial_offer or sender_protocol.should_offer(sb, receiver, now):
+                    return sb
+                rejected = rec.coin_rejected
+                if rejected is None:
+                    rejected = rec.coin_rejected = set()
+                rejected.add((sender_id, bid))
+                coin_rejected = rejected
+        # pass 2: the rest, same order — together the two passes visit
+        # candidates in the planner's exact two-tier order
+        for i, bit in enumerate(bits):
+            if not (bit & want):
+                continue
+            sb = sbs[i]
+            if peer_destined and sb.bundle.destination == rid:
+                continue
+            if now >= sb.expiry:
+                continue
+            bid = sb.bundle.bid
+            if (sender_id, bid) in coin_rejected:
+                continue
+            if trivial_accept:
+                if (
+                    len(recv_entries) >= recv_cap
+                    and sb.bundle.destination != rid
+                    and not receiver.drop_policy.can_make_room(
+                        receiver.relay, sb.bundle
+                    )
+                ):
+                    continue
+            elif not receiver_protocol.can_accept(sb.bundle, now):
+                continue
+            if trivial_offer or sender_protocol.should_offer(sb, receiver, now):
+                return sb
+            rejected = rec.coin_rejected
+            if rejected is None:
+                rejected = rec.coin_rejected = set()
+            rejected.add((sender_id, bid))
+            coin_rejected = rejected
+        return None
+
+    def _first_offer_pure(
+        self, sender_id: int, receiver: Node, want: int
+    ) -> StoredBundle | None:
+        # _first_offer specialized for the fully-trivial substrate (base
+        # offer/accept/store hooks, so no protocol ever assigns an expiry
+        # or records a coin veto): the same two-tier visit order with the
+        # want filter and the capacity probe as the only live predicates.
+        sbs = self._cand_sbs[sender_id]
+        bits = self._cand_bits[sender_id]
+        rid = receiver.id
+        recv_full = len(self._rentries[rid]) >= self._rcaps[rid]
+        if self._dest_counts[sender_id].get(rid, 0):
+            for i, bit in enumerate(bits):
+                if bit & want and sbs[i].bundle.destination == rid:
+                    return sbs[i]
+            for i, bit in enumerate(bits):
+                if bit & want:
+                    sb = sbs[i]
+                    if sb.bundle.destination == rid:
+                        continue
+                    if recv_full and not receiver.drop_policy.can_make_room(
+                        receiver.relay, sb.bundle
+                    ):
+                        continue
+                    return sb
+            return None
+        # no candidate is destined for the receiver: single pass, and the
+        # destination-always-accepts arm of the capacity probe is vacuous
+        for i, bit in enumerate(bits):
+            if bit & want:
+                sb = sbs[i]
+                if recv_full and not receiver.drop_policy.can_make_room(
+                    receiver.relay, sb.bundle
+                ):
+                    continue
+                return sb
+        return None
+
+    def _schedule_next(self, rec: _Session, now: float) -> None:
+        if rec.budget <= 0:
+            return
+        slot_end = rec.t_cursor + rec.tx_time
+        if slot_end > rec.end + 1e-9:
+            return
+        node_a, node_b = rec.node_a, rec.node_b
+        snd = self._snd_bits
+        hasb = self._has_bits
+        aid, bid_ = node_a.id, node_b.id
+        pure = self._pure_offer
+        sb = None
+        want = snd[aid] & ~hasb[bid_]
+        if want:
+            if pure:
+                sb = self._first_offer_pure(aid, node_b, want)
+            else:
+                sb = self._first_offer(rec, node_a, node_b, now, want)
+        if sb is not None:
+            sender, receiver = node_a, node_b
+        else:
+            want = snd[bid_] & ~hasb[aid]
+            if want:
+                if pure:
+                    sb = self._first_offer_pure(bid_, node_a, want)
+                else:
+                    sb = self._first_offer(rec, node_b, node_a, now, want)
+            if sb is None:
+                return
+            sender, receiver = node_b, node_a
+        hook = self._planned_hook
+        if hook is not None:
+            hook(now, sender.id, receiver.id, sb.bundle.bid)
+        rec.t_cursor = slot_end
+        # _Calendar.at, inlined (hot: once per planned transfer)
+        cal = self.cal
+        entry: list[Any] = [slot_end, cal.seq, self._complete, (rec, sender, receiver, sb), True]
+        cal.seq += 1
+        heapq.heappush(cal.heap, entry)
+
+    def _complete(self, rec: _Session, sender: Node, receiver: Node, sb: StoredBundle) -> None:
+        sim = self.sim
+        metrics = sim.metrics
+        now = self.cal.now
+        rec.budget -= 1
+        bid = sb.bundle.bid
+        rid = receiver.id
+        bit = 1 << self._col[bid]
+        # receiver.has_copy probe via the exact mask mirror (relay ∪ origin
+        # ∪ delivered), sender.get_copy via the cached store views
+        if self._has_bits[rid] & bit:
+            metrics.on_wasted_slot()
+            self._schedule_next(rec, now)
+            return
+        held = self._origins[sender.id].get(bid)
+        if held is None:
+            held = self._rentries[sender.id].get(bid)
+        still_held = held is sb
+        if (
+            self._trivial_store
+            and still_held
+            and sb.bundle.destination != rid
+            and len(self._rentries[rid]) < self._rcaps[rid]
+        ):
+            # hook-free relay store, mutation-for-mutation the reference
+            # chain below: base on_transmitted, base accept with a
+            # non-full buffer, the store accounting, and copy_added —
+            # collapsed into one frame for the dominant completion shape
+            sb.ec += 1
+            sender.counters.bundles_sent += 1
+            metrics.bundle_transmissions += 1
+            stored = StoredBundle(bundle=sb.bundle, stored_at=now, ec=sb.ec)
+            # relay.add, inlined: the duplicate and capacity guards are
+            # discharged by the has-bit probe and the gate above
+            self._rentries[rid][bid] = stored
+            self._relays[rid].version += 1
+            receiver.counters.bundles_received += 1
+            metrics.on_relay_copy_stored(bid, now)
+            self._snd_bits[rid] |= bit
+            self._has_bits[rid] |= bit
+            self._masks_dirty = True
+            key = (now, bid)
+            keys = self._cand_keys[rid]
+            i = bisect_left(keys, key)
+            keys.insert(i, key)
+            self._cand_sbs[rid].insert(i, stored)
+            self._cand_bits[rid].insert(i, bit)
+            counts = self._dest_counts[rid]
+            dest = sb.bundle.destination
+            counts[dest] = counts.get(dest, 0) + 1
+            self._schedule_next(rec, now)
+            return
+        if (
+            still_held
+            and not self._trivial_confirm
+            and not sender.protocol.confirm_transfer(sb, receiver, now)
+        ):
+            metrics.on_wasted_slot()
+            self._schedule_next(rec, now)
+            return
+        if still_held:
+            sender.protocol.on_transmitted(sb, receiver, now)
+            ec_for_receiver = sb.ec
+        else:
+            ec_for_receiver = sb.ec + 1
+        sender.counters.bundles_sent += 1
+        metrics.on_transmission()
+        if sb.bundle.destination == receiver.id:
+            sim.deliver(receiver, sb.bundle, now, via=sender.id)
+        else:
+            stored = sim.store_received_copy(
+                receiver, sb.bundle, ec_for_receiver, now, sender_copy=sb
+            )
+            if stored is None:
+                receiver.counters.rejections += 1
+                metrics.on_wasted_slot()
+        self._schedule_next(rec, now)
+
+    # ------------------------------------------------------------- skip scan
+
+    def _scan_chunks(self, lo: int, hi: int) -> int:
+        """First contact index in ``[lo, hi)`` whose skip test fails, or ``hi``.
+
+        The vectorized arm of the skip test: classifies
+        :data:`_SKIP_CHUNK` contacts per row operation against the NumPy
+        mask mirrors. Called only after the integer probe has burned its
+        budget on an unbroken futile run — i.e. for the long spans where
+        array overhead amortizes.
+        """
+        if self._masks_dirty:
+            self._rebuild_masks()
+        sendable = self._sendable
+        has = self._has
+        live_a = self._live_a
+        live_b = self._live_b
+        while lo < hi:
+            nhi = lo + _SKIP_CHUNK
+            if nhi > hi:
+                nhi = hi
+            a = live_a[lo:nhi]
+            b = live_b[lo:nhi]
+            possible = (sendable[a] & ~has[b]).any(axis=1)
+            possible |= (sendable[b] & ~has[a]).any(axis=1)
+            if possible.any():
+                return lo + int(possible.argmax())
+            lo = nhi
+        return hi
+
+    def _rebuild_masks(self) -> None:
+        """Refresh the NumPy mask mirrors from the integer bitmasks."""
+        nbytes = self._mask_bytes
+        b = self._b
+        for name, bits_list in (
+            ("_sendable", self._snd_bits),
+            ("_has", self._has_bits),
+        ):
+            raw = b"".join(bits.to_bytes(nbytes, "little") for bits in bits_list)
+            packed = np.frombuffer(raw, dtype=np.uint8).reshape(self._n, nbytes)
+            rows = np.unpackbits(packed, axis=1, bitorder="little")[:, :b]
+            setattr(self, name, rows.view(np.bool_))
+        self._masks_dirty = False
+
+    def _settle_futile(self, ci: int, fired_idx: list[int]) -> None:
+        """One-shot accounting for every futile contact in ``[0, ci)``.
+
+        The sweep loop only records which contacts opened a session
+        (``fired_idx``); everything else it advanced past is futile, so
+        the skip count and per-endpoint control units settle here as two
+        whole-prefix bincounts minus the fired contacts' contribution —
+        order-independent sums, exactly as the per-event path tallies
+        them one encounter at a time.
+        """
+        n_sessions = len(fired_idx)
+        futile = ci - n_sessions
+        if not futile:
+            return
+        self._skipped += futile
+        minlength = self._n
+        units = np.bincount(self._live_a[:ci], minlength=minlength)
+        units += np.bincount(self._live_b[:ci], minlength=minlength)
+        if n_sessions:
+            fi = np.asarray(fired_idx, dtype=np.intp)
+            units -= np.bincount(self._live_a[fi], minlength=minlength)
+            units -= np.bincount(self._live_b[fi], minlength=minlength)
+        self._ctrl_np += units
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, horizon: float) -> RunResult:
+        """Execute the swept run and build its result.
+
+        Swaps the calendar in as ``sim.engine`` for the duration (every
+        service-layer ``engine.at``/``cancel``/``halt``/``now`` lands on
+        it), then restores the real engine, credits it the executed event
+        count, advances its clock to the end time, and runs the standard
+        deferred-bookkeeping flush — so result construction is the exact
+        code path of an event run.
+        """
+        sim = self.sim
+        cal = self.cal
+        arrays = sim.trace.contact_arrays()
+        zero_mask = zero_transfer_mask(sim.trace, sim.config.bundle_tx_time, arrays=arrays)
+        real_engine = sim.engine
+        self._planned_hook = sim.on_transfer_planned
+        sim.engine = cal  # type: ignore[assignment]
+        sim._state_observer = self
+        sim._defer_history = True
+        try:
+            halted = self._drive(horizon, arrays, zero_mask)
+        finally:
+            sim.engine = real_engine
+            sim._state_observer = None
+        end_time = cal.now if halted else horizon
+        real_engine.credit_events(cal.events_fired + self._skipped)
+        real_engine.advance_clock(end_time)
+        if self._skipped:
+            sim.metrics.on_batched_contacts(self._skipped)
+        for node, units in zip(self._nodes, self._ctrl_np.tolist(), strict=True):
+            if units:
+                node.counters.control_units_sent += units
+        sim._flush_deferred_bookkeeping(zero_mask, end_time, arrays=arrays)
+        return sim._build_result()
+
+    def _drive(
+        self,
+        horizon: float,
+        arrays: tuple[
+            NDArray[np.float64], NDArray[np.float64], NDArray[np.intp], NDArray[np.intp]
+        ],
+        zero_mask: NDArray[np.bool_],
+    ) -> bool:
+        """The sweep loop; returns True when the run halted early."""
+        sim = self.sim
+        cal = self.cal
+        nodes = self._nodes
+        # flow injection, in the engine's pre-load order: t=0 flows run now
+        # (their expiry pushes take the first seqs), later flows park on
+        # the calendar — seq assignment matches the event queue's exactly
+        for flow in sim.flows:
+            if flow.created_at == 0.0:
+                sim._inject_flow(flow)
+            else:
+                cal.at(flow.created_at, sim._inject_flow, flow)
+        starts, ends, a_ids, b_ids = arrays
+        live = np.flatnonzero(~zero_mask)
+        live_starts = starts[live]
+        self._live_a = a_ids[live]
+        self._live_b = b_ids[live]
+        starts_l: list[float] = live_starts.tolist()
+        ends_l: list[float] = ends[live].tolist()
+        a_l: list[int] = self._live_a.tolist()
+        b_l: list[int] = self._live_b.tolist()
+        contact_base = cal.seq
+        cal.seq = contact_base + len(starts_l)
+        n_fire = int(np.searchsorted(live_starts, horizon, side="right"))
+        signaling = sim.metrics.signaling
+        link_tx_time = sim.link_tx_time
+        uniform_tx = sim._uniform_tx_time
+        schedule_next = self._schedule_next
+        snd = self._snd_bits
+        hasb = self._has_bits
+        heap = cal.heap
+        heappop = heapq.heappop
+        inf = math.inf
+        ci = 0
+        # indexes of contacts that opened a session; every other contact in
+        # [0, ci) is futile, and all futile accounting (skip counts +
+        # control units) settles in one vectorized pass on return
+        fired_idx: list[int] = []
+        fired_append = fired_idx.append
+        while True:
+            while heap and not heap[0][4]:
+                heappop(heap)
+            if heap:
+                head = heap[0]
+                h_time = head[0]
+                h_seq = head[1]
+            else:
+                h_time = inf
+                h_seq = 0
+            # ---- contact block: every contact strictly before the next
+            # dynamic event in (time, seq) order. Masks cannot change in
+            # here — only calendar events mutate copy state.
+            progressed = False
+            probe = _PROBE
+            while ci < n_fire:
+                t = starts_l[ci]
+                if t > h_time or (t == h_time and contact_base + ci >= h_seq):
+                    break
+                a = a_l[ci]
+                b = b_l[ci]
+                if (snd[a] & ~hasb[b]) or (snd[b] & ~hasb[a]):
+                    # possible: run the exchange machinery for contact ci
+                    cal.now = t
+                    cal.events_fired += 1
+                    node_a = nodes[a]
+                    node_b = nodes[b]
+                    signaling.summary_vector += 2
+                    node_a.counters.control_units_sent += 1
+                    node_b.counters.control_units_sent += 1
+                    tx_time = (
+                        uniform_tx if uniform_tx is not None else link_tx_time(a, b)
+                    )
+                    end = ends_l[ci]
+                    rec = _Session(
+                        node_a, node_b, t, end, tx_time, int((end - t) / tx_time)
+                    )
+                    schedule_next(rec, t)
+                    fired_append(ci)
+                    ci += 1
+                    progressed = True
+                    break
+                # futile: retire inline (accounting settles on return)
+                ci += 1
+                probe -= 1
+                if probe == 0:
+                    # unbroken futile run: hand the rest of the block to
+                    # the chunked vectorized scan
+                    if h_time == inf:
+                        hi = n_fire
+                    else:
+                        hi = int(np.searchsorted(live_starts, h_time, side="left"))
+                        if hi > n_fire:
+                            hi = n_fire
+                        while (
+                            hi < n_fire
+                            and starts_l[hi] == h_time
+                            and contact_base + hi < h_seq
+                        ):
+                            hi += 1
+                    ci = self._scan_chunks(ci, hi)
+                    probe = _PROBE
+            if progressed:
+                continue
+            if h_time > horizon:
+                self._settle_futile(ci, fired_idx)
+                return False
+            entry = heappop(heap)
+            cal.now = h_time
+            cal.events_fired += 1
+            entry[2](*entry[3])
+            if cal.halted:
+                self._settle_futile(ci, fired_idx)
+                return True

@@ -70,6 +70,22 @@ class Engine:
         t = self._queue.peek_time()
         return math.inf if t is None else t
 
+    def credit_events(self, count: int) -> None:
+        """Add externally-executed events to the fired-event counter.
+
+        For clients that execute work equivalent to scheduled events
+        outside the engine loop (the simulation's SoA sweep kernel):
+        :attr:`events_fired` keeps meaning "events of the reference
+        schedule executed", so throughput accounting stays comparable
+        across execution modes.
+
+        Raises:
+            ValueError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise ValueError(f"cannot credit a negative event count: {count}")
+        self._events_fired += count
+
     def advance_clock(self, time: float) -> None:
         """Advance the clock without firing an event.
 

@@ -108,6 +108,9 @@ class ContactTrace:
     _arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = field(
         init=False, repr=False, compare=False, default=None
     )
+    _streams: (
+        tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+    ) = field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -209,6 +212,45 @@ class ContactTrace:
                 b[i] = c.b
             self._arrays = (starts, ends, a, b)
         return self._arrays
+
+    def encounter_streams(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-node encounter-time streams ``(offsets, ts, nid_tail, same, dts)``.
+
+        ``ts[offsets[i] : offsets[i + 1]]`` is node ``i``'s chronological
+        sequence of contact start times: both endpoints of every contact
+        contribute one entry, endpoint ``a`` ranked before ``b`` at equal
+        contact index — the event loop's own per-node visitation order,
+        recovered by a stable sort of the interleaved endpoint columns.
+        ``nid_tail``, ``same`` and ``dts`` are the companion difference
+        columns (``nid_sorted[1:]``, the same-node mask and
+        ``ts[1:] - ts[:-1]``) that per-run consumers combine with their
+        own gap thresholds. Built lazily once per trace and cached; a run
+        truncated at ``end_time`` selects each node's prefix with
+        ``searchsorted(ts[lo:hi], end_time, "right")``.
+        """
+        if self._streams is None:
+            import numpy as np
+
+            starts, _ends, a, b = self.contact_arrays()
+            m = len(starts)
+            nids = np.empty(2 * m, dtype=np.intp)
+            nids[0::2] = a
+            nids[1::2] = b
+            times = np.empty(2 * m, dtype=np.float64)
+            times[0::2] = starts
+            times[1::2] = starts
+            order = np.argsort(nids, kind="stable")
+            nid_sorted = nids[order]
+            ts = times[order]
+            offsets = np.zeros(self.num_nodes + 1, dtype=np.intp)
+            np.cumsum(np.bincount(nids, minlength=self.num_nodes), out=offsets[1:])
+            nid_tail = nid_sorted[1:]
+            same = nid_tail == nid_sorted[:-1]
+            dts = ts[1:] - ts[:-1]
+            self._streams = (offsets, ts, nid_tail, same, dts)
+        return self._streams
 
     def first_contact_at_or_after(self, t: float) -> Contact | None:
         """Earliest contact with ``start >= t``, or None."""
@@ -321,7 +363,10 @@ class ContactTrace:
 
 
 def zero_transfer_mask(
-    trace: ContactTrace, bundle_tx_time: float | Sequence[float]
+    trace: ContactTrace,
+    bundle_tx_time: float | Sequence[float],
+    *,
+    arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Boolean mask of contacts whose duration admits zero transfers.
 
@@ -334,10 +379,15 @@ def zero_transfer_mask(
     ``int(duration / tx_time) == 0`` bit-for-bit: both are IEEE-754
     float64 divisions and truncation toward zero of a non-negative
     quotient is zero exactly when the quotient is below 1.
+
+    Args:
+        arrays: The trace's ``(starts, ends, a, b)`` columns when the
+            caller already materialised them — one run fetches the columnar
+            form once and threads it through every bulk consumer.
     """
     import numpy as np
 
-    starts, ends, a, b = trace.contact_arrays()
+    starts, ends, a, b = arrays if arrays is not None else trace.contact_arrays()
     if isinstance(bundle_tx_time, (int, float)):
         tx: float | np.ndarray = float(bundle_tx_time)
     else:

@@ -371,6 +371,15 @@ class ScenarioSpec:
             simulator; ``"ode"`` runs them on the mean-field surrogate
             (:mod:`repro.analytic.surrogate`), which is what lets a
             scenario sweep 10^5–10^6-node populations in seconds.
+        kernel: Execution kernel for DES cells — ``"auto"`` (default)
+            runs each cell on the array-resident contact-sweep kernel
+            (:mod:`repro.core.sweepkernel`) whenever the cell qualifies
+            and falls back to the event engine otherwise; ``"event"``
+            forces the classic per-event path; ``"soa"`` forces the
+            sweep kernel and fails fast (at spec load for faulted
+            scenarios, at run start otherwise) when a cell cannot run on
+            it. Both kernels produce byte-identical results, so this is
+            purely a speed dial. Ignored by the ``ode`` engine.
         surrogate_check: When the engine is ``"ode"``, run the
             cross-validation gate (:mod:`repro.analytic.calibration`)
             before the sweep: both engines execute a small reference grid
@@ -416,6 +425,7 @@ class ScenarioSpec:
     drop_policy: str = "reject"
     record_occupancy: bool = False
     engine: str = "des"
+    kernel: str = "auto"
     surrogate_check: bool = True
     surrogate_tolerance: float = 0.10
     surrogate_reference: MobilitySpec | None = None
@@ -438,6 +448,7 @@ class ScenarioSpec:
             drop_policy=self.drop_policy,
             record_occupancy=self.record_occupancy,
             engine=self.engine,
+            kernel=self.kernel,
             faults=self.faults,
         )
         object.__setattr__(self, "buffer_capacity", sim.buffer_capacity)
@@ -497,6 +508,7 @@ class ScenarioSpec:
                 drop_policy=self.drop_policy,
                 record_occupancy=self.record_occupancy,
                 engine=self.engine,
+                kernel=self.kernel,
                 faults=self.faults,
             ),
         )
@@ -601,6 +613,7 @@ class ScenarioSpec:
             "drop_policy": self.drop_policy,
             "record_occupancy": self.record_occupancy,
             "engine": self.engine,
+            "kernel": self.kernel,
             "surrogate_check": self.surrogate_check,
             "surrogate_tolerance": self.surrogate_tolerance,
             "retries": self.retries,
@@ -631,6 +644,7 @@ class ScenarioSpec:
                 "drop_policy",
                 "record_occupancy",
                 "engine",
+                "kernel",
                 "surrogate_check",
                 "surrogate_tolerance",
                 "surrogate_reference",
@@ -672,6 +686,7 @@ class ScenarioSpec:
             "drop_policy",
             "record_occupancy",
             "engine",
+            "kernel",
             "surrogate_check",
             "surrogate_tolerance",
             "retries",

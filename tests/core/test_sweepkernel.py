@@ -1,0 +1,343 @@
+"""Kernel-vs-event equivalence gate for the SoA contact-sweep kernel.
+
+The sweep kernel (:mod:`repro.core.sweepkernel`) promises *byte-identical*
+``RunResult``s to the event engine for every run it accepts — it is a
+speed tier, not an approximation. These tests pin that promise the way the
+planner and batching refactors were pinned: ``repr`` equality over the
+golden-pin protocol set on campus and RWP traces, plus the structural edge
+cases the kernel handles specially (heterogeneous radios, buffer-pressure
+drops under every policy, early halt at the delivery boundary) and the
+fail-fast rejection surface (faults, encounter-reactive protocols, the ODE
+engine). Hypothesis drives randomized mini-scenarios through both kernels
+and checks physical invariants on the SoA side directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.bundle import BundleId
+from repro.core.policies import drop_policy_names
+from repro.core.protocols import make_protocol_config
+from repro.core.simulation import KERNELS, Simulation, SimulationConfig
+from repro.core.workload import Flow, single_flow
+from repro.des.rng import derive_seed
+from repro.faults import FaultSpec
+from repro.mobility.contact import Contact, ContactTrace
+from repro.mobility.rwp import RWPConfig, SubscriberPointRWP
+from repro.mobility.trajectory import contacts_from_trajectories
+from repro.scenarios.spec import MobilitySpec, ProtocolSpec, ScenarioSpec
+
+#: Every encounter-inert protocol the kernel accepts, with constructor
+#: kwargs covering the state each one adds (TTL deadlines, EC counters,
+#: forwarding coins, spray tokens).
+INERT_PROTOCOLS = [
+    ("pure", {}),
+    ("ttl", {"ttl": 300.0}),
+    ("ec", {}),
+    ("ec_ttl", {}),
+    ("pq", {"p": 0.8, "q": 0.4, "anti_packets": False}),
+    ("spray_wait", {}),
+]
+
+#: Encounter-reactive configurations the kernel must refuse.
+REACTIVE_PROTOCOLS = [
+    ("pq", {"p": 1.0, "q": 1.0, "anti_packets": True}),
+    ("immunity", {}),
+]
+
+
+@pytest.fixture(scope="module")
+def rwp_trace() -> ContactTrace:
+    """A 30-node subscriber-point RWP trace (bench-style mobility)."""
+    cfg = RWPConfig(num_nodes=30, horizon=20_000.0)
+    trajectories = SubscriberPointRWP(cfg, seed=3).generate_trajectories()
+    return contacts_from_trajectories(
+        trajectories,
+        cfg.comm_range,
+        contact_cap=cfg.contact_cap,
+        horizon=cfg.horizon,
+    )
+
+
+def run_cell(
+    trace: ContactTrace,
+    name: str,
+    kwargs: dict,
+    kernel: str,
+    *,
+    load: int = 10,
+    master_seed: int = 7,
+    **config_kwargs,
+) -> tuple[Simulation, object]:
+    """One sweep cell seeded exactly like ``run_single``, on ``kernel``."""
+    protocol = make_protocol_config(name, **kwargs)
+    endpoint_rng = np.random.default_rng(derive_seed(master_seed, "workload", load, 0))
+    flows = single_flow(trace.num_nodes, load, endpoint_rng)
+    run_seed = int(
+        derive_seed(master_seed, "run", protocol.protocol_name, load, 0).generate_state(
+            1
+        )[0]
+    )
+    sim = Simulation(
+        trace,
+        protocol,
+        flows,
+        config=SimulationConfig(kernel=kernel, **config_kwargs),
+        seed=run_seed,
+    )
+    return sim, sim.run()
+
+
+def assert_identical(trace, name, kwargs, **config_kwargs) -> None:
+    """Both kernels must produce byte-identical results and event counts."""
+    ev_sim, ev_result = run_cell(trace, name, kwargs, "event", **config_kwargs)
+    soa_sim, soa_result = run_cell(trace, name, kwargs, "soa", **config_kwargs)
+    assert repr(ev_result) == repr(soa_result)
+    assert ev_result == soa_result
+    # the kernel's event accounting must mirror the reference schedule too
+    assert (
+        ev_sim.engine.events_fired + ev_sim.batched_encounters
+        == soa_sim.engine.events_fired + soa_sim.batched_encounters
+    )
+
+
+# --------------------------------------------------------------- equivalence
+
+
+@pytest.mark.parametrize(
+    ("name", "kwargs"), INERT_PROTOCOLS, ids=[p[0] for p in INERT_PROTOCOLS]
+)
+def test_kernel_matches_event_on_campus(campus_trace, name, kwargs):
+    assert_identical(campus_trace, name, kwargs)
+
+
+@pytest.mark.parametrize(
+    ("name", "kwargs"), INERT_PROTOCOLS, ids=[p[0] for p in INERT_PROTOCOLS]
+)
+def test_kernel_matches_event_on_rwp(rwp_trace, name, kwargs):
+    assert_identical(rwp_trace, name, kwargs)
+
+
+def test_kernel_matches_event_heterogeneous_radios(campus_trace):
+    """Per-node tx times change the link budget of every session."""
+    tx = tuple(60.0 + 15.0 * (i % 7) for i in range(campus_trace.num_nodes))
+    assert_identical(campus_trace, "pure", {}, bundle_tx_time=tx)
+    assert_identical(campus_trace, "ttl", {"ttl": 300.0}, bundle_tx_time=tx)
+
+
+@pytest.mark.parametrize("policy", sorted(drop_policy_names()))
+def test_kernel_matches_event_under_buffer_pressure(campus_trace, policy):
+    """Tight buffers force admission control through every drop policy
+    (drop-random additionally consumes the per-node RNG stream)."""
+    assert_identical(
+        campus_trace,
+        "pure",
+        {},
+        load=30,
+        buffer_capacity=2,
+        drop_policy=policy,
+    )
+
+
+def test_kernel_matches_event_at_early_halt_boundary():
+    """Delivery on the last relevant contact must halt both kernels at the
+    same instant, with the trailing contacts charged but never simulated."""
+    contacts = [
+        Contact(start=100.0, end=400.0, a=0, b=1),
+        Contact(start=500.0, end=900.0, a=1, b=2),
+        # after full delivery: must be skipped identically by both tiers
+        Contact(start=1_000.0, end=1_400.0, a=0, b=2),
+        Contact(start=1_500.0, end=1_900.0, a=1, b=2),
+    ]
+    trace = ContactTrace(contacts, 3, horizon=10_000.0)
+    flows = [Flow(flow_id=0, source=0, destination=2, num_bundles=2)]
+    results = {}
+    for kernel in ("event", "soa"):
+        sim = Simulation(
+            trace,
+            make_protocol_config("pure"),
+            flows,
+            config=SimulationConfig(kernel=kernel),
+            seed=11,
+        )
+        results[kernel] = sim.run()
+    assert repr(results["event"]) == repr(results["soa"])
+    assert results["event"].delivered == 2
+    # the halt really was early — nothing ran past the delivering contact
+    assert results["event"].end_time < 1_000.0
+
+
+# ----------------------------------------------------------------- rejection
+
+
+def test_config_rejects_unknown_kernel():
+    with pytest.raises(ValueError, match="kernel"):
+        SimulationConfig(kernel="vectorized")
+    assert KERNELS == ("auto", "event", "soa")
+
+
+def test_config_rejects_soa_under_faults():
+    with pytest.raises(ValueError, match="fault injection"):
+        SimulationConfig(
+            kernel="soa", faults=FaultSpec(churn_rate=0.001, mean_downtime=50.0)
+        )
+    # a trivial (all-defaults) fault spec injects nothing → allowed
+    SimulationConfig(kernel="soa", faults=FaultSpec())
+
+
+def test_scenario_spec_rejects_soa_under_faults_at_load_time():
+    """The refusal must happen when the spec is built, not mid-campaign."""
+    spec_kwargs = dict(
+        mobility=MobilitySpec(kind="campus", params={}),
+        protocols=(ProtocolSpec(name="pure"),),
+        kernel="soa",
+        faults=FaultSpec(contact_drop_prob=0.1),
+    )
+    with pytest.raises(ValueError, match="fault injection"):
+        ScenarioSpec(**spec_kwargs)
+    # the identical dict round-trips through from_dict to the same error
+    good = ScenarioSpec(
+        mobility=MobilitySpec(kind="campus", params={}),
+        protocols=(ProtocolSpec(name="pure"),),
+        kernel="soa",
+    )
+    data = good.to_dict()
+    assert data["kernel"] == "soa"
+    data["faults"] = {"contact_drop_prob": 0.1}
+    with pytest.raises(ValueError, match="fault injection"):
+        ScenarioSpec.from_dict(data)
+
+
+@pytest.mark.parametrize(
+    ("name", "kwargs"), REACTIVE_PROTOCOLS, ids=[p[0] for p in REACTIVE_PROTOCOLS]
+)
+def test_soa_rejects_encounter_reactive_protocols(campus_trace, name, kwargs):
+    with pytest.raises(ValueError, match="kernel='soa' cannot execute this run"):
+        run_cell(campus_trace, name, kwargs, "soa")
+
+
+@pytest.mark.parametrize(
+    ("name", "kwargs"), REACTIVE_PROTOCOLS, ids=[p[0] for p in REACTIVE_PROTOCOLS]
+)
+def test_auto_falls_back_to_event_identically(campus_trace, name, kwargs):
+    _, auto_result = run_cell(campus_trace, name, kwargs, "auto")
+    _, ev_result = run_cell(campus_trace, name, kwargs, "event")
+    assert repr(auto_result) == repr(ev_result)
+
+
+def test_auto_uses_kernel_for_inert_population(campus_trace):
+    """auto on an eligible run takes the SoA tier (no heap churn), and the
+    result still matches the forced-event run byte for byte."""
+    auto_sim, auto_result = run_cell(campus_trace, "pure", {}, "auto")
+    _, ev_result = run_cell(campus_trace, "pure", {}, "event")
+    assert repr(auto_result) == repr(ev_result)
+    # the SoA calendar fires far fewer heap events than the contact count
+    assert auto_sim.batched_encounters > 0
+
+
+def test_soa_rejects_ode_engine():
+    with pytest.raises(ValueError, match="engine"):
+        SimulationConfig(engine="ode", kernel="soa")
+
+
+# ------------------------------------------------------- hypothesis invariants
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def mini_scenario(draw):
+    """A random small trace with integer-grid times so contact starts can
+    land exactly on TTL-expiry boundaries (the `<=` vs `<` edge)."""
+    num_nodes = draw(st.integers(3, 6))
+    n_contacts = draw(st.integers(2, 20))
+    contacts = []
+    t = 0.0
+    for _ in range(n_contacts):
+        t += draw(st.integers(10, 400))
+        dur = draw(st.integers(50, 500))
+        a = draw(st.integers(0, num_nodes - 1))
+        b = draw(st.integers(0, num_nodes - 1).filter(lambda x, a=a: x != a))
+        contacts.append(Contact(start=t, end=t + dur, a=a, b=b))
+        t += dur
+    trace = ContactTrace(contacts, num_nodes, horizon=t + 2_000.0)
+    source = draw(st.integers(0, num_nodes - 1))
+    dest = draw(st.integers(0, num_nodes - 1).filter(lambda x: x != source))
+    load = draw(st.integers(1, 8))
+    capacity = draw(st.integers(1, 4))
+    return trace, source, dest, load, capacity
+
+
+PROTO_STRATEGY = st.sampled_from(
+    [
+        ("pure", {}),
+        # integer TTLs matching the integer time grid: expiries collide
+        # with contact starts, pinning the boundary semantics
+        ("ttl", {"ttl": 200.0}),
+        ("ttl", {"ttl": 450.0}),
+        ("ec", {}),
+        ("pq", {"p": 0.7, "q": 0.5, "anti_packets": False}),
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    scenario=mini_scenario(),
+    proto=PROTO_STRATEGY,
+    policy=st.sampled_from(sorted(drop_policy_names())),
+    seed=st.integers(0, 3),
+)
+def test_soa_invariants_and_equivalence(scenario, proto, policy, seed):
+    trace, source, dest, load, capacity = scenario
+    name, kwargs = proto
+    flows = [Flow(flow_id=0, source=source, destination=dest, num_bundles=load)]
+
+    def build(kernel):
+        return Simulation(
+            trace,
+            make_protocol_config(name, **kwargs),
+            flows,
+            config=SimulationConfig(
+                kernel=kernel, buffer_capacity=capacity, drop_policy=policy
+            ),
+            seed=seed,
+        )
+
+    ev_result = build("event").run()
+    soa_sim = build("soa")
+    soa_result = soa_sim.run()
+
+    # --- equivalence: the kernel is exact, not approximately right
+    assert repr(soa_result) == repr(ev_result)
+
+    # --- copy conservation on the SoA side: metric copy counts equal the
+    # live copies actually held plus the destination's consumed copy
+    dest_node = soa_sim.nodes[dest]
+    for seq in range(1, load + 1):
+        bid = BundleId(0, seq)
+        live = sum(1 for n in soa_sim.nodes if n.get_copy(bid) is not None)
+        expected = live + (1 if bid in dest_node.delivered else 0)
+        assert soa_sim.metrics.copy_count(bid) == expected
+
+    # --- delivered-stays-delivered: every counted delivery is terminal
+    # (the destination consumed it; it never reappears as a live copy)
+    assert soa_result.delivered == len(dest_node.delivered)
+    for bid in dest_node.delivered:
+        assert dest_node.get_copy(bid) is None
+
+    # --- TTL boundary: every surviving relay copy's expiry deadline lies
+    # at or beyond the stop time — a copy whose deadline passed before the
+    # run ended must have been expired by the kernel (deadlines exactly on
+    # the stop time are the `<=` vs `<` edge the integer grid provokes:
+    # either the expiry fired first and the copy is gone, or the halt beat
+    # it and the deadline equals end_time)
+    if kwargs.get("ttl") is not None:
+        for node in soa_sim.nodes:
+            for sb in node.relay.entries_view().values():
+                assert sb.expiry is None or sb.expiry >= soa_result.end_time

@@ -20,6 +20,7 @@ SCOPED_PATH = {
     "DET003": "src/repro/core/simulation.py",
     "HOT001": "src/repro/des/engine.py",
     "HOT002": "src/repro/core/simulation.py",
+    "HOT003": "src/repro/core/sweepkernel.py",
     "SPEC001": "src/repro/scenarios/spec.py",
     "API001": "src/repro/core/policies.py",
 }
@@ -335,6 +336,61 @@ class TestScheduleClosure:
             "HOT002",
             "def go(engine, node) -> None:\n"
             "    engine.at(1.0, lambda: node.tick())  # lint: disable=HOT002\n",
+        )
+
+
+# ------------------------------------------------------------------ HOT003
+
+
+class TestKernelContactLoop:
+    def test_fires_on_for_over_contact_column(self):
+        assert_fires(
+            "HOT003",
+            "def drive(starts_l) -> None:\n"
+            "    for t in starts_l:\n"
+            "        print(t)\n",
+        )
+
+    def test_fires_on_comprehension_over_live_endpoints(self):
+        assert_fires(
+            "HOT003",
+            "def tally(self) -> list[int]:\n"
+            "    return [a + 1 for a in self._live_a]\n",
+        )
+
+    def test_fires_on_zipped_contact_columns(self):
+        assert_fires(
+            "HOT003",
+            "def walk(starts, ends) -> None:\n"
+            "    for s, e in zip(starts, ends):\n"
+            "        print(s, e)\n",
+        )
+
+    def test_passes_on_candidate_and_flow_loops(self):
+        assert_clean(
+            "HOT003",
+            "def offer(bits, sbs, flows) -> None:\n"
+            "    for i, bit in enumerate(bits):\n"
+            "        print(sbs[i])\n"
+            "    for flow in flows:\n"
+            "        print(flow)\n",
+        )
+
+    def test_passes_outside_the_kernel_module(self):
+        assert_clean(
+            "HOT003",
+            "def flush(starts_l) -> None:\n"
+            "    for t in starts_l:\n"
+            "        print(t)\n",
+            path="src/repro/core/simulation.py",
+        )
+
+    def test_pragma_suppresses(self):
+        assert_clean(
+            "HOT003",
+            "def drive(starts_l) -> None:\n"
+            "    for t in starts_l:  # lint: disable=HOT003\n"
+            "        print(t)\n",
         )
 
 

@@ -8,6 +8,12 @@ the pre-optimization measurement pinned in :data:`PRE_OPT_WALL_S`, and
 writes the table to a JSON report — the perf trajectory CI tracks next to
 ``BENCH_contacts.json``.
 
+The grid carries a ``kernel`` dimension: every cell runs on the classic
+event engine, and encounter-inert cells (:data:`SOA_PROTOCOLS`) run a
+second time on the array-resident contact-sweep kernel
+(:mod:`repro.core.sweepkernel`). The full scale adds a 1000-node epidemic
+cell only the sweep kernel can run interactively.
+
 Usage:
     PYTHONPATH=src python tools/bench_sim.py --scale smoke
     PYTHONPATH=src python tools/bench_sim.py --scale full --repeats 3
@@ -18,8 +24,10 @@ Usage:
 ``--verify`` turns the run into an equivalence gate: the golden seed
 scenarios (campus trace, seed 7 — the same pins as
 ``tests/core/test_golden_runs.py``) are re-run and every metric must match
-bit-for-bit, and each benchmark cell is re-run with the slow reference
-session planner and must produce an identical ``RunResult``.
+bit-for-bit, each benchmark cell is re-run with the slow reference
+session planner and must produce an identical ``RunResult``, and every
+sweep-kernel row with an event twin in the grid — plus the eligible
+golden cells — must be byte-identical (``repr``) across kernels.
 
 ``--baseline`` compares fresh events/sec against a committed report and
 exits non-zero on regressions beyond ``--max-regression`` (matched rows
@@ -31,6 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -86,6 +95,15 @@ GOLDEN_PROTOCOLS: dict[str, dict[str, object]] = {
     "immunity": {},
 }
 
+#: Bench-grid protocols the sweep kernel accepts (encounter-inert). The
+#: anti-packet pq cell mutates knowledge on encounters, so it stays
+#: event-only — exactly the mixed-grid situation per-cell dispatch covers.
+SOA_PROTOCOLS = ("pure", "ttl")
+
+#: Golden-pinned protocols covered by the kernel byte-identity check
+#: (immunity and anti-packet pq are encounter-reactive → event-only).
+SOA_GOLDEN_PROTOCOLS = ("pure", "ttl", "ec")
+
 SCALES: dict[str, dict[str, tuple]] = {
     # CI perf job: small populations, quick; the extra 200-node
     # anti-packet cell covers the per-contact control-plane path (the
@@ -95,11 +113,19 @@ SCALES: dict[str, dict[str, tuple]] = {
         "nodes": (25, 50),
         "loads": (10,),
         "extra_cells": (("pq", 200, 30),),
+        "soa_cells": (),
     },
     # the committed BENCH_sim.json: the full grid incl. the 100-node
     # epidemic cell the optimization target is measured on (the smoke
-    # extra cell is part of the grid here)
-    "full": {"nodes": (25, 50, 100, 200), "loads": (10, 30), "extra_cells": ()},
+    # extra cell is part of the grid here); the 1000-node epidemic cell
+    # runs on the sweep kernel only — the event engine needs tens of
+    # seconds for it while the kernel stays interactive
+    "full": {
+        "nodes": (25, 50, 100, 200),
+        "loads": (10, 30),
+        "extra_cells": (),
+        "soa_cells": (("pure", 1000, 30),),
+    },
 }
 
 #: The tentpole's reference cell: a 100-node epidemic sweep cell.
@@ -274,6 +300,7 @@ def build_sim(
     *,
     rep: int = 0,
     planner: str = "incremental",
+    kernel: str = "event",
 ) -> Simulation:
     """One sweep cell's simulation, seeded exactly like ``run_single``."""
     protocol = make_protocol_config(protocol_name, **GOLDEN_PROTOCOLS[protocol_name])
@@ -290,7 +317,7 @@ def build_sim(
         trace,
         protocol,
         flows,
-        config=SweepConfig().sim,
+        config=replace(SweepConfig().sim, kernel=kernel),
         seed=run_seed,
         planner=planner,
     )
@@ -302,6 +329,7 @@ def bench_cell(
     load: int,
     master_seed: int,
     repeats: int,
+    kernel: str = "event",
 ) -> dict[str, object]:
     """Best-of-``repeats`` wall time for one (protocol, nodes, load) cell.
 
@@ -315,7 +343,7 @@ def bench_cell(
     best = float("inf")
     events = fired = batched = 0
     for _ in range(repeats):
-        sim = build_sim(trace, protocol_name, load, master_seed)
+        sim = build_sim(trace, protocol_name, load, master_seed, kernel=kernel)
         t0 = time.perf_counter()
         sim.run()
         best = min(best, time.perf_counter() - t0)
@@ -327,6 +355,7 @@ def bench_cell(
         "protocol": protocol_name,
         "nodes": trace.num_nodes,
         "load": load,
+        "kernel": kernel,
         "contacts": len(trace),
         "events": events,
         "events_fired": fired,
@@ -379,6 +408,39 @@ def verify_planner(
     return []
 
 
+def verify_kernel(
+    trace: ContactTrace, protocol_name: str, load: int, master_seed: int
+) -> list[str]:
+    """Sweep kernel vs event engine on one cell; reprs must be identical."""
+    event = build_sim(trace, protocol_name, load, master_seed).run()
+    soa = build_sim(trace, protocol_name, load, master_seed, kernel="soa").run()
+    if repr(event) != repr(soa):
+        return [
+            f"kernel divergence: {protocol_name} n={trace.num_nodes} "
+            f"load={load}: soa {soa!r} != event {event!r}"
+        ]
+    return []
+
+
+def verify_golden_kernel() -> list[str]:
+    """Kernel byte-identity across the eligible extended golden grid."""
+    trace = CampusTraceGenerator(seed=GOLDEN_SEED).generate()
+    failures: list[str] = []
+    for name, load, rep in sorted(GOLDEN):
+        if name not in SOA_GOLDEN_PROTOCOLS:
+            continue
+        event = build_sim(trace, name, load, GOLDEN_SEED, rep=rep).run()
+        soa = build_sim(
+            trace, name, load, GOLDEN_SEED, rep=rep, kernel="soa"
+        ).run()
+        if repr(event) != repr(soa):
+            failures.append(
+                f"kernel divergence: golden {name} load={load} rep={rep}: "
+                f"soa {soa!r} != event {event!r}"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
@@ -391,8 +453,9 @@ def main(argv: list[str] | None = None) -> int:
         "--verify",
         action="store_true",
         help="equivalence gate: golden seed-scenario pins must match "
-        "bit-for-bit and the incremental planner must equal the reference "
-        "planner on every benchmark cell",
+        "bit-for-bit, the incremental planner must equal the reference "
+        "planner on every benchmark cell, and every sweep-kernel row "
+        "must be byte-identical to its event-engine twin",
     )
     parser.add_argument(
         "--baseline",
@@ -419,42 +482,65 @@ def main(argv: list[str] | None = None) -> int:
         failures.extend(verify_golden())
         status = "ok" if not failures else "FAILED"
         print(f"golden seed-scenario pins ({len(GOLDEN)} runs, seed {GOLDEN_SEED}): {status}")
+        kernel_failures = verify_golden_kernel()
+        failures.extend(kernel_failures)
+        status = "ok" if not kernel_failures else "FAILED"
+        print(
+            f"golden kernel byte-identity ({len(SOA_GOLDEN_PROTOCOLS)} "
+            f"protocols, seed {GOLDEN_SEED}): {status}"
+        )
 
-    cells: list[tuple[str, int, int]] = [
+    base_cells: list[tuple[str, int, int]] = [
         (protocol_name, n, load)
         for n in scale["nodes"]
         for protocol_name in PROTOCOLS
         for load in scale["loads"]
     ]
-    cells += [cell for cell in scale["extra_cells"] if cell not in cells]
+    base_cells += [cell for cell in scale["extra_cells"] if cell not in base_cells]
+    cells: list[tuple[str, int, int, str]] = []
+    for protocol_name, n, load in base_cells:
+        cells.append((protocol_name, n, load, "event"))
+        if protocol_name in SOA_PROTOCOLS:
+            cells.append((protocol_name, n, load, "soa"))
+    # kernel-only cells: no event twin, so no equivalence re-run either
+    cells += [(p, n, load, "soa") for p, n, load in scale["soa_cells"]]
 
     rows: list[dict[str, object]] = []
     traces: dict[int, ContactTrace] = {}
-    for protocol_name, n, load in cells:
+    for protocol_name, n, load, kernel in cells:
         if n not in traces:
             traces[n] = build_trace(n, args.seed)
         trace = traces[n]
-        row = bench_cell(trace, protocol_name, load, args.seed, args.repeats)
+        row = bench_cell(
+            trace, protocol_name, load, args.seed, args.repeats, kernel=kernel
+        )
         rows.append(row)
-        if args.verify:
+        if args.verify and kernel == "event":
             failures.extend(verify_planner(trace, protocol_name, load, args.seed))
+        elif args.verify and (protocol_name, n, load, "event") in cells:
+            failures.extend(verify_kernel(trace, protocol_name, load, args.seed))
         speedup = row["speedup_vs_pre_opt"]
         speedup_txt = f"×{speedup:.2f}" if speedup is not None else "—"
         print(
-            f"  {protocol_name:5s} n={n:<4d} load={load:<3d} "
+            f"  {protocol_name:5s} n={n:<4d} load={load:<3d} {kernel:5s} "
             f"{row['wall_s']:9.4f}s  events={row['events']:>8}  "
             f"{format_rate(row['events_per_s']):>7} ev/s  "
             f"vs pre-opt {speedup_txt:>7}"
         )
 
-    target = next(
-        (
-            r
-            for r in rows
-            if (r["protocol"], r["nodes"], r["load"]) == TARGET_CELL
-        ),
-        None,
-    )
+    def _target_row(kernel: str) -> dict[str, object] | None:
+        key = (*TARGET_CELL, kernel)
+        return next(
+            (
+                r
+                for r in rows
+                if (r["protocol"], r["nodes"], r["load"], r["kernel"]) == key
+            ),
+            None,
+        )
+
+    target = _target_row("event")
+    target_soa = _target_row("soa")
     report = report_envelope(
         "simulation_core",
         scale=args.scale,
@@ -469,6 +555,11 @@ def main(argv: list[str] | None = None) -> int:
             "pre_opt_wall_s": PRE_OPT_WALL_S[TARGET_CELL],
             "wall_s": target["wall_s"] if target else None,
             "speedup_vs_pre_opt": target["speedup_vs_pre_opt"] if target else None,
+            "soa_wall_s": target_soa["wall_s"] if target_soa else None,
+            "soa_events_per_s": target_soa["events_per_s"] if target_soa else None,
+            "soa_speedup_vs_event": round(target["wall_s"] / target_soa["wall_s"], 2)
+            if target and target_soa and target_soa["wall_s"]
+            else None,
         },
         results=rows,
     )
@@ -479,10 +570,22 @@ def main(argv: list[str] | None = None) -> int:
             f"target cell (100-node epidemic sweep cell): "
             f"{target['wall_s']}s, ×{target['speedup_vs_pre_opt']} vs pre-opt"
         )
+    if target is not None and target_soa is not None and target_soa["wall_s"]:
+        print(
+            f"target cell on sweep kernel: {target_soa['wall_s']}s, "
+            f"×{target['wall_s'] / target_soa['wall_s']:.2f} vs event kernel"
+        )
 
     if args.baseline:
         baseline = load_report(args.baseline)
-        cell_key = lambda r: (r["protocol"], r["nodes"], r["load"])  # noqa: E731
+        # .get() default keeps pre-kernel baselines comparable: their rows
+        # were all event-engine runs
+        cell_key = lambda r: (  # noqa: E731
+            r["protocol"],
+            r["nodes"],
+            r["load"],
+            r.get("kernel", "event"),
+        )
         regressions = compare_to_baseline(
             rows,
             baseline.get("results", []),
@@ -518,7 +621,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"ERROR: {msg}", file=sys.stderr)
         return 1
     if args.verify:
-        print("equivalence check: golden pins + planner parity ✓")
+        print("equivalence check: golden pins + planner parity + kernel identity ✓")
     return 0
 
 

@@ -16,6 +16,11 @@ scenario's real sweep grid:
    parallel executor: every cell's fault environment derives from its
    own grid coordinates, so fan-out order cannot leak into results.
 
+3. **Kernel refusal at load time** — forcing ``kernel="soa"`` onto the
+   faulted scenario must be rejected when the spec is *built* (the sweep
+   kernel has no disruption machinery), with an actionable error — not
+   accepted and left to explode mid-campaign.
+
 Each comparison serialises every :meth:`RunResult.to_dict` to canonical
 JSON and byte-compares, so any drift — a float ulp, a new counter, a
 reordered record — fails loudly.
@@ -113,6 +118,24 @@ def check_faulted_parallel(spec, jobs: int) -> list[str]:
     return problems
 
 
+def check_soa_refused_at_load(spec) -> list[str]:
+    """``kernel="soa"`` + non-trivial faults must fail at spec build."""
+    try:
+        dataclasses.replace(spec, kernel="soa")
+    except ValueError as exc:
+        message = str(exc)
+        if "fault" not in message:
+            return [
+                "soa-vs-faults refusal raised, but the error does not name "
+                f"fault injection as the cause: {message!r}"
+            ]
+        return []
+    return [
+        'kernel="soa" with a non-trivial fault spec was accepted at '
+        "spec-load time; it must be refused there, not mid-run"
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -139,7 +162,8 @@ def main(argv: list[str] | None = None) -> int:
             "this gate needs one to exercise the disruption model"
         )
 
-    problems = check_zero_fault(spec, args.jobs)
+    problems = check_soa_refused_at_load(spec)
+    problems += check_zero_fault(spec, args.jobs)
     problems += check_faulted_parallel(spec, args.jobs)
     if problems:
         print("FAULT EQUIVALENCE FAILED:", file=sys.stderr)
@@ -149,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
     print(
         "fault equivalence OK: trivial spec byte-identical to the unfaulted "
         "batched and reference schedules; faulted sweep byte-identical "
-        "serial vs parallel"
+        'serial vs parallel; kernel="soa" refused at spec-load time'
     )
     return 0
 

@@ -25,6 +25,10 @@ HOT001    classes in ``des/`` and ``core/bundle.py`` must declare
 HOT002    no per-event closure allocation: lambdas /
           ``functools.partial`` must not be passed to ``schedule*`` /
           ``at`` / ``after`` / ``push``
+HOT003    no Python-level per-contact ``for`` loops (incl.
+          comprehensions) over the contact columns inside the SoA
+          sweep kernel — contact streams are swept with ``while`` +
+          vectorized chunk scans, never element-wise Python iteration
 SPEC001   every serialisable spec/config dataclass field must appear
           in its JSON round-trip (``to_dict`` *and* ``from_dict``),
           and every ``SimulationConfig`` knob must be mirrored by
@@ -226,6 +230,7 @@ class UnorderedIterationRule(Rule):
         "src/repro/core/planner.py",
         "src/repro/core/session.py",
         "src/repro/core/knowledge.py",
+        "src/repro/core/sweepkernel.py",
     )
 
     def check(self, src: SourceFile) -> Iterator[Violation]:
@@ -543,6 +548,68 @@ class ScheduleClosureRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# HOT003 — per-contact Python loops in the sweep kernel
+
+
+class KernelContactLoopRule(Rule):
+    """The sweep kernel must never iterate contact columns element-wise.
+
+    ``repro.core.sweepkernel`` exists to replace per-contact Python work
+    with integer-mask probes and chunked NumPy scans; its hot loops are
+    deliberately ``while``-based so the skip scan can jump the cursor in
+    bulk. A ``for`` loop (or comprehension) whose iterable names one of
+    the contact-stream columns reintroduces exactly the per-element
+    interpreter cost the kernel was built to elide — and tends to sneak
+    in via innocent-looking bookkeeping patches.
+    """
+
+    rule_id = "HOT003"
+    severity = SEVERITY_ERROR
+    description = (
+        "Python-level for loop over a contact column inside the sweep "
+        "kernel (use while + vectorized chunk scans)"
+    )
+    paths = ("src/repro/core/sweepkernel.py",)
+
+    #: identifiers that name the contact-stream columns (module locals,
+    #: attributes, and the columnar-arrays tuple elements)
+    _CONTACT_NAMES = frozenset(
+        {
+            "contacts", "starts", "ends", "a_ids", "b_ids",
+            "live", "live_starts", "live_ends", "live_a", "live_b",
+            "_live_a", "_live_b", "starts_l", "ends_l", "a_l", "b_l",
+            "zero_mask", "n_fire",
+        }
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                named = {
+                    sub.id for sub in ast.walk(it) if isinstance(sub, ast.Name)
+                }
+                named |= {
+                    sub.attr for sub in ast.walk(it) if isinstance(sub, ast.Attribute)
+                }
+                hits = sorted(named & self._CONTACT_NAMES)
+                if hits:
+                    yield self.violation(
+                        src,
+                        it,
+                        f"per-contact Python iteration over {hits[0]!r}: the "
+                        "kernel sweeps contact columns with while-loops and "
+                        "chunked NumPy scans, never element-wise for loops",
+                    )
+
+
+# ---------------------------------------------------------------------------
 # SPEC001 — spec/config JSON round-trip completeness
 
 
@@ -707,6 +774,7 @@ def default_rules() -> list[Rule]:
         WallClockRule(),
         SlotsRule(),
         ScheduleClosureRule(),
+        KernelContactLoopRule(),
         SpecRoundTripRule(),
         RegistryDocstringRule(),
     ]
